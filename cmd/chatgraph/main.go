@@ -1,0 +1,149 @@
+// Command chatgraph is the interactive ChatGraph REPL: load a graph, ask
+// questions in natural language, review the generated API chain, and watch
+// it execute.
+//
+// Usage:
+//
+//	chatgraph [-graph file.json] [-demo social|molecule|knowledge]
+//	          [-llm http://host:port] [-model name] [-yes]
+//
+// With -llm, chain generation uses an OpenAI-style chat-completions endpoint
+// instead of the built-in simulated model.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/chain"
+	"chatgraph/internal/core"
+	"chatgraph/internal/executor"
+	"chatgraph/internal/graph"
+	"chatgraph/internal/llm"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph JSON file to load")
+		demo      = flag.String("demo", "", "generate a demo graph: social, molecule, or knowledge")
+		llmURL    = flag.String("llm", "", "OpenAI-style endpoint for chain generation (default: built-in model)")
+		llmModel  = flag.String("model", "vicuna-13b", "model name sent to the -llm endpoint")
+		autoYes   = flag.Bool("yes", false, "auto-approve generated chains without prompting")
+		seed      = flag.Int64("seed", 42, "random seed for demo graphs and training")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *demo, *llmURL, *llmModel, *autoYes, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "chatgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, demo, llmURL, llmModel string, autoYes bool, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := loadGraph(graphPath, demo, rng)
+	if err != nil {
+		return err
+	}
+	env := &apis.Env{}
+	reg := apis.Default(env)
+	core.SeedMoleculeDB(env, 100, rng)
+	cfg := core.Config{Registry: reg, Env: env, TrainSeed: seed}
+	if llmURL != "" {
+		cfg.Client = &llm.HTTPClient{BaseURL: llmURL, Model: llmModel}
+	}
+	fmt.Println("Building ChatGraph session (training the chain model)...")
+	sess, err := core.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	if g != nil {
+		fmt.Printf("Loaded graph: %s\n", g)
+	}
+	kind := graph.Classify(g)
+	fmt.Println("Suggested questions:")
+	for _, q := range core.SuggestedQuestions(kind) {
+		fmt.Printf("  - %s\n", q)
+	}
+	fmt.Println(`Type a question, "quit" to exit.`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		if q == "quit" || q == "exit" {
+			return nil
+		}
+		opts := core.AskOptions{
+			OnEvent: func(e executor.Event) {
+				switch e.Type {
+				case executor.EventStepStart:
+					fmt.Printf("  [%5.1fms] step %d: %s ...\n", float64(e.Elapsed.Microseconds())/1000, e.StepIndex+1, e.Step)
+				case executor.EventStepDone:
+					fmt.Printf("  [%5.1fms] step %d done\n", float64(e.Elapsed.Microseconds())/1000, e.StepIndex+1)
+				}
+			},
+		}
+		if !autoYes {
+			opts.Confirm = func(c chain.Chain) (chain.Chain, bool) {
+				fmt.Printf("Generated chain: %s\n", c)
+				fmt.Print("Run it? [Y/n/edit] ")
+				if !sc.Scan() {
+					return nil, false
+				}
+				ans := strings.TrimSpace(sc.Text())
+				switch strings.ToLower(ans) {
+				case "", "y", "yes":
+					return nil, true
+				case "n", "no":
+					return nil, false
+				default:
+					edited, err := chain.Parse(ans)
+					if err != nil {
+						fmt.Printf("could not parse edited chain (%v); running original\n", err)
+						return nil, true
+					}
+					return edited, true
+				}
+			}
+		}
+		turn, err := sess.Ask(context.Background(), q, g, opts)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		fmt.Printf("chain: %s\n\n%s\n\n", turn.Chain, turn.Answer)
+	}
+}
+
+func loadGraph(path, demo string, rng *rand.Rand) (*graph.Graph, error) {
+	switch {
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("load graph: %w", err)
+		}
+		return graph.ParseJSON(data)
+	case demo == "social":
+		return graph.PlantedCommunities(3, 15, 0.5, 0.02, rng), nil
+	case demo == "molecule":
+		return graph.Molecule(20, rng), nil
+	case demo == "knowledge":
+		return graph.KnowledgeGraph(40, 90, rng), nil
+	case demo == "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown demo kind %q", demo)
+	}
+}

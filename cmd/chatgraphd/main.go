@@ -1,0 +1,62 @@
+// Command chatgraphd serves ChatGraph over HTTP — the offline substitute for
+// the paper's Gradio app. Endpoints: POST /chat, GET /apis, GET /suggest,
+// GET /healthz.
+//
+// Example:
+//
+//	chatgraphd -addr :8080 &
+//	curl -s localhost:8080/chat -d '{"question":"Write a brief report for G",
+//	     "graph":{"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1}]}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/config"
+	"chatgraph/internal/core"
+	"chatgraph/internal/llm"
+	"chatgraph/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cfgPath  = flag.String("config", "", "JSON config file (see internal/config); overrides -llm/-model")
+		llmURL   = flag.String("llm", "", "OpenAI-style endpoint for chain generation (default: built-in model)")
+		llmModel = flag.String("model", "vicuna-13b", "model name sent to the -llm endpoint")
+		seed     = flag.Int64("seed", 42, "seed for training and the molecule database")
+		mols     = flag.Int("molecules", 200, "molecules to seed the similarity database with")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	env := &apis.Env{}
+	reg := apis.Default(env)
+	core.SeedMoleculeDB(env, *mols, rng)
+	log.Println("training chain-generation model ...")
+	var sess *core.Session
+	var err error
+	if *cfgPath != "" {
+		fc, cfgErr := config.Load(*cfgPath)
+		if cfgErr != nil {
+			log.Fatalf("chatgraphd: %v", cfgErr)
+		}
+		sess, err = core.NewSessionFromConfig(fc, reg, env, *seed)
+	} else {
+		cfg := core.Config{Registry: reg, Env: env, TrainSeed: *seed}
+		if *llmURL != "" {
+			cfg.Client = &llm.HTTPClient{BaseURL: *llmURL, Model: *llmModel}
+		}
+		sess, err = core.NewSession(cfg)
+	}
+	if err != nil {
+		log.Fatalf("chatgraphd: %v", err)
+	}
+	srv := server.New(sess)
+	fmt.Printf("chatgraphd listening on %s (%d APIs registered)\n", *addr, reg.Len())
+	log.Fatal(srv.ListenAndServe(*addr))
+}

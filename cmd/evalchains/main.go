@@ -1,0 +1,108 @@
+// Command evalchains regenerates experiments E7 and E8 as printed tables:
+// the rollout-search ablation, the greedy-vs-beam decoding comparison, the
+// per-task accuracy breakdown of the finetuned model, and the API-retrieval
+// hit rate. It is the table-oriented companion to `go test -bench`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/chain"
+	"chatgraph/internal/finetune"
+	"chatgraph/internal/retrieve"
+)
+
+func main() {
+	var (
+		nTrain = flag.Int("train", 400, "training examples")
+		nTest  = flag.Int("test", 100, "held-out examples for ablations")
+		seed   = flag.Int64("seed", 1, "random seed")
+		alpha  = flag.Float64("alpha", 0.5, "node-matching loss regularizer weight")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	vocab := apis.Default(nil).Names()
+
+	fmt.Println("== E7a: rollout-search ablation (count-initialized model) ==")
+	weak := finetune.Train(vocab, finetune.GenerateDataset(*nTrain/2, rng), finetune.TrainConfig{Epochs: 0, Seed: *seed})
+	ablationSet := finetune.GenerateDataset(*nTest, rng)
+	fmt.Printf("%-10s %12s %12s\n", "rollouts", "exact-rate", "mean-loss")
+	for _, r := range []int{0, 1, 4, 16, 64} {
+		evalRng := rand.New(rand.NewSource(*seed + 100))
+		exact, totalLoss := 0.0, 0.0
+		for _, ex := range ablationSet {
+			pred := finetune.SearchPredict(weak, ex.Question, ex.Kind, ex.Truths,
+				finetune.SearchConfig{Rollouts: r, Alpha: *alpha}, evalRng)
+			l, _ := chain.MinLoss(pred, ex.Truths, *alpha)
+			totalLoss += l
+			if l == 0 {
+				exact++
+			}
+		}
+		n := float64(len(ablationSet))
+		fmt.Printf("%-10d %12.3f %12.3f\n", r, exact/n, totalLoss/n)
+	}
+
+	fmt.Println("\n== E7b: trained model, greedy vs beam decoding ==")
+	ds := finetune.GenerateDataset(*nTrain, rng)
+	train, test := finetune.SplitDataset(ds, 0.25, rng)
+	model := finetune.Train(vocab, train, finetune.TrainConfig{
+		Epochs: 2, Search: finetune.SearchConfig{Rollouts: 4, Alpha: *alpha}, Seed: *seed,
+	})
+	fmt.Printf("%-10s %12s %12s\n", "beam", "exact-match", "mean-ged")
+	for _, w := range []int{1, 2, 4, 8} {
+		res := finetune.EvaluateBeam(model, test, *alpha, w)
+		fmt.Printf("%-10d %12.3f %12.3f\n", w, res.ExactMatch, res.MeanGED)
+	}
+
+	fmt.Println("\n== E7c: per-task accuracy (greedy decoding) ==")
+	byTask := finetune.EvaluateByTask(model, test, *alpha)
+	tasks := make([]string, 0, len(byTask))
+	for t := range byTask {
+		tasks = append(tasks, t)
+	}
+	sort.Strings(tasks)
+	fmt.Printf("%-18s %8s %12s %10s\n", "task", "examples", "exact-match", "mean-ged")
+	for _, t := range tasks {
+		res := byTask[t]
+		fmt.Printf("%-18s %8d %12.3f %10.3f\n", t, res.Examples, res.ExactMatch, res.MeanGED)
+	}
+
+	fmt.Println("\n== E8: API retrieval hit rate ==")
+	ix, err := retrieve.New(apis.Default(nil), retrieve.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalchains:", err)
+		os.Exit(1)
+	}
+	queries := []struct{ query, want string }{
+		{"find the communities of the social network", "community.detect"},
+		{"who is the most influential node", "centrality.pagerank"},
+		{"how toxic is this molecule", "molecule.toxicity"},
+		{"find similar molecules in the database", "similarity.search"},
+		{"clean the knowledge graph noise", "kg.detect_all"},
+		{"shortest path between two nodes", "path.shortest"},
+		{"which cliques exist in this graph", "structure.cliques"},
+		{"what functional groups does the molecule contain", "molecule.substructure"},
+	}
+	fmt.Printf("%-52s %-22s %s\n", "query", "expected", "hit@5")
+	hits := 0
+	for _, q := range queries {
+		got := ix.Names(q.query, 5)
+		hit := false
+		for _, name := range got {
+			if name == q.want {
+				hit = true
+			}
+		}
+		if hit {
+			hits++
+		}
+		fmt.Printf("%-52s %-22s %v\n", q.query, q.want, hit)
+	}
+	fmt.Printf("overall hit@5: %.3f\n", float64(hits)/float64(len(queries)))
+}

@@ -1,0 +1,75 @@
+// Command gendata emits artifacts for offline inspection: the synthetic
+// finetuning dataset as JSON lines, or demo graphs in the upload wire
+// format.
+//
+// Usage:
+//
+//	gendata -what dataset -n 500 > dataset.jsonl
+//	gendata -what graph -kind molecule -size 24 > mol.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"chatgraph/internal/finetune"
+	"chatgraph/internal/graph"
+)
+
+func main() {
+	var (
+		what = flag.String("what", "dataset", "what to generate: dataset or graph")
+		n    = flag.Int("n", 200, "dataset examples to generate")
+		kind = flag.String("kind", "social", "graph kind: social, molecule, or knowledge")
+		size = flag.Int("size", 30, "graph size (nodes)")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	switch *what {
+	case "dataset":
+		enc := json.NewEncoder(os.Stdout)
+		for _, ex := range finetune.GenerateDataset(*n, rng) {
+			truths := make([]string, len(ex.Truths))
+			for i, t := range ex.Truths {
+				truths[i] = t.String()
+			}
+			if err := enc.Encode(map[string]any{
+				"question": ex.Question,
+				"kind":     ex.Kind.String(),
+				"task":     ex.Task,
+				"chains":   truths,
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	case "graph":
+		var g *graph.Graph
+		switch *kind {
+		case "social":
+			g = graph.PlantedCommunities(3, *size/3+1, 0.5, 0.02, rng)
+		case "molecule":
+			g = graph.Molecule(*size, rng)
+		case "knowledge":
+			g = graph.KnowledgeGraph(*size, *size*2, rng)
+		default:
+			fatal(fmt.Errorf("unknown kind %q", *kind))
+		}
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data) //nolint:errcheck
+		fmt.Println()
+	default:
+		fatal(fmt.Errorf("unknown -what %q", *what))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gendata:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Chain monitoring (paper Fig. 7, scenario 4): the user reviews and edits
+// the generated API chain before execution, then watches per-step progress
+// events while the chain runs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"chatgraph/internal/chain"
+	"chatgraph/internal/core"
+	"chatgraph/internal/executor"
+	"chatgraph/internal/graph"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.PlantedCommunities(3, 15, 0.5, 0.02, rng)
+	g.Name = "monitored_graph"
+
+	sess, err := core.NewSession(core.Config{TrainSeed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	turn, err := sess.Ask(context.Background(), "Write a brief report for G", g, core.AskOptions{
+		// The user edits the chain before approving: centrality analysis
+		// is appended ahead of the report step.
+		Confirm: func(c chain.Chain) (chain.Chain, bool) {
+			fmt.Printf("generated chain : %s\n", c)
+			edited := c.Clone()
+			if last := len(edited) - 1; last >= 0 && edited[last].API == "report.compose" {
+				edited = append(edited[:last:last],
+					chain.NewStep("centrality.pagerank", "top", "3"), edited[last])
+			}
+			fmt.Printf("edited chain    : %s\n\n", edited)
+			return edited, true
+		},
+		// Live progress, as in the monitoring panel.
+		OnEvent: func(e executor.Event) {
+			switch e.Type {
+			case executor.EventStepStart:
+				fmt.Printf("[%7.2fms] ▶ step %d %s\n", ms(e), e.StepIndex+1, e.Step)
+			case executor.EventStepDone:
+				fmt.Printf("[%7.2fms] ✓ step %d\n", ms(e), e.StepIndex+1)
+			case executor.EventChainDone:
+				fmt.Printf("[%7.2fms] chain complete\n\n", ms(e))
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(turn.Answer)
+}
+
+func ms(e executor.Event) float64 { return float64(e.Elapsed.Microseconds()) / 1000 }

@@ -1,0 +1,44 @@
+// Quickstart: build a ChatGraph session, upload a small graph, and ask one
+// question. This is the minimal end-to-end use of the library.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"chatgraph/internal/core"
+	"chatgraph/internal/graph"
+)
+
+func main() {
+	// A tiny friendship network.
+	g := graph.New()
+	g.Name = "friends"
+	names := []string{"ann", "bob", "cat", "dan", "eve"}
+	for _, n := range names {
+		g.AddNode(n)
+	}
+	edges := [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A default session: built-in API registry, simulated LLM trained on
+	// the synthetic finetuning dataset.
+	sess, err := core.NewSession(core.Config{TrainSeed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	turn, err := sess.Ask(context.Background(), "Write a brief report for G", g, core.AskOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("question : %s\n", turn.Question)
+	fmt.Printf("kind     : %s\n", turn.Kind)
+	fmt.Printf("chain    : %s\n", turn.Chain)
+	fmt.Printf("answer   :\n%s\n", turn.Answer)
+}

@@ -1,0 +1,270 @@
+// Package ann implements approximate nearest-neighbor search over dense
+// vectors. Its centerpiece is the τ-monotonic graph (τ-MG) proximity-graph
+// index from the paper's §II-D (Definitions 2–3), which ChatGraph uses to
+// retrieve graph-analysis APIs whose description embeddings are closest to
+// the user's prompt embedding.
+//
+// Besides τ-MG the package provides the baselines the paper's performance
+// claim is made against: exact brute force, an MRNG-style monotonic graph
+// (τ-MG with τ = 0), and an NSW-style incrementally built graph. All indexes
+// share the Index interface so the retrieval module and the benchmark
+// harness can swap them freely.
+package ann
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"chatgraph/internal/vecmath"
+)
+
+// Result is one search hit: the vector's ID (its position in the build slice)
+// and its distance to the query.
+type Result struct {
+	ID   int
+	Dist float32
+}
+
+// SearchStats reports the work a single search performed, used by the E5
+// benchmark to compare routing efficiency across proximity graphs.
+type SearchStats struct {
+	// DistComps counts distance computations.
+	DistComps int
+	// Hops counts routing steps (nodes expanded).
+	Hops int
+}
+
+// Index is a built ANN index over a fixed vector set.
+type Index interface {
+	// Search returns the k nearest candidates to q, closest first.
+	Search(q []float32, k int) []Result
+	// SearchWithStats is Search plus per-query work counters.
+	SearchWithStats(q []float32, k int) ([]Result, SearchStats)
+	// Len reports how many vectors are indexed.
+	Len() int
+}
+
+// BruteForce is the exact baseline: linear scan over all vectors.
+type BruteForce struct {
+	vecs [][]float32
+}
+
+// NewBruteForce indexes vecs by reference; callers must not mutate them.
+func NewBruteForce(vecs [][]float32) *BruteForce {
+	return &BruteForce{vecs: vecs}
+}
+
+// Len implements Index.
+func (b *BruteForce) Len() int { return len(b.vecs) }
+
+// Search implements Index.
+func (b *BruteForce) Search(q []float32, k int) []Result {
+	rs, _ := b.SearchWithStats(q, k)
+	return rs
+}
+
+// SearchWithStats implements Index.
+func (b *BruteForce) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
+	if k <= 0 || len(b.vecs) == 0 {
+		return nil, SearchStats{}
+	}
+	rs := make([]Result, 0, len(b.vecs))
+	for i, v := range b.vecs {
+		rs = append(rs, Result{ID: i, Dist: vecmath.L2(q, v)})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+	if k > len(rs) {
+		k = len(rs)
+	}
+	return rs[:k], SearchStats{DistComps: len(b.vecs), Hops: 1}
+}
+
+// Recall computes |approx ∩ exact| / |exact| treating the result lists as ID
+// sets; it is the standard recall@k quality metric.
+func Recall(approx, exact []Result) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(exact))
+	for _, r := range exact {
+		in[r.ID] = true
+	}
+	hit := 0
+	for _, r := range approx {
+		if in[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// maxHeap of results ordered by descending distance, so the worst candidate
+// in a bounded result set sits on top.
+type maxHeap []Result
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// minHeap of results ordered by ascending distance: the frontier of a beam
+// search.
+type minHeap []Result
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].Dist < h[j].Dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// graphIndex is the shared machinery of all proximity-graph indexes: vectors,
+// adjacency, an entry point, and beam-search routing.
+type graphIndex struct {
+	vecs  [][]float32
+	adj   [][]int32
+	entry int
+	beam  int // default ef for search, ≥ k
+}
+
+// Len implements Index.
+func (g *graphIndex) Len() int { return len(g.vecs) }
+
+// medoid returns the index of the vector closest to the dataset mean; used
+// as the routing entry point.
+func medoid(vecs [][]float32) int {
+	if len(vecs) == 0 {
+		return -1
+	}
+	m := vecmath.Mean(vecs)
+	best, _ := vecmath.ArgNearest(m, vecs)
+	return best
+}
+
+// beamSearch routes from the entry point toward q keeping up to ef
+// candidates, the standard best-first search used by graph ANN indexes.
+func (g *graphIndex) beamSearch(q []float32, ef int) ([]Result, SearchStats) {
+	var stats SearchStats
+	if len(g.vecs) == 0 || ef <= 0 {
+		return nil, stats
+	}
+	visited := make(map[int32]bool, ef*4)
+	start := Result{ID: g.entry, Dist: vecmath.L2(q, g.vecs[g.entry])}
+	stats.DistComps++
+	frontier := minHeap{start}
+	best := maxHeap{start}
+	visited[int32(g.entry)] = true
+	for frontier.Len() > 0 {
+		cur := heap.Pop(&frontier).(Result)
+		if best.Len() >= ef && cur.Dist > best[0].Dist {
+			break
+		}
+		stats.Hops++
+		for _, nb := range g.adj[cur.ID] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := vecmath.L2(q, g.vecs[nb])
+			stats.DistComps++
+			if best.Len() < ef || d < best[0].Dist {
+				heap.Push(&frontier, Result{ID: int(nb), Dist: d})
+				heap.Push(&best, Result{ID: int(nb), Dist: d})
+				if best.Len() > ef {
+					heap.Pop(&best)
+				}
+			}
+		}
+	}
+	out := make([]Result, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&best).(Result)
+	}
+	return out, stats
+}
+
+// GreedyRoute performs the paper's single-path greedy routing: from the
+// entry point repeatedly move to the neighbor closest to q; stop when no
+// neighbor improves. It returns the final node and the routing stats. On a
+// τ-monotonic graph this finds the exact nearest neighbor of queries whose
+// nearest neighbor is within τ of the query (the τ-MG guarantee).
+func (g *graphIndex) GreedyRoute(q []float32) (Result, SearchStats) {
+	var stats SearchStats
+	if len(g.vecs) == 0 {
+		return Result{ID: -1, Dist: float32(math.Inf(1))}, stats
+	}
+	cur := g.entry
+	curDist := vecmath.L2(q, g.vecs[cur])
+	stats.DistComps++
+	for {
+		stats.Hops++
+		improved := false
+		for _, nb := range g.adj[cur] {
+			d := vecmath.L2(q, g.vecs[nb])
+			stats.DistComps++
+			if d < curDist {
+				cur, curDist = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return Result{ID: cur, Dist: curDist}, stats
+		}
+	}
+}
+
+// Degrees returns the out-degree of every node, for index-size diagnostics.
+func (g *graphIndex) Degrees() []int {
+	ds := make([]int, len(g.adj))
+	for i, a := range g.adj {
+		ds[i] = len(a)
+	}
+	return ds
+}
+
+// AvgDegree returns the mean out-degree of the proximity graph.
+func (g *graphIndex) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return float64(total) / float64(len(g.adj))
+}
+
+func checkVectors(vecs [][]float32) error {
+	if len(vecs) == 0 {
+		return fmt.Errorf("ann: empty vector set")
+	}
+	d := len(vecs[0])
+	if d == 0 {
+		return fmt.Errorf("ann: zero-dimensional vectors")
+	}
+	for i, v := range vecs {
+		if len(v) != d {
+			return fmt.Errorf("ann: vector %d has dim %d, want %d", i, len(v), d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package ann
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chatgraph/internal/vecmath"
+)
+
+func testVectors(n, d int, seed int64) [][]float32 {
+	return RandomVectors(n, d, rand.New(rand.NewSource(seed)))
+}
+
+func TestBruteForceExact(t *testing.T) {
+	vecs := [][]float32{{0, 0}, {1, 0}, {0, 2}, {3, 3}}
+	bf := NewBruteForce(vecs)
+	rs := bf.Search([]float32{0.9, 0.1}, 2)
+	if len(rs) != 2 || rs[0].ID != 1 || rs[1].ID != 0 {
+		t.Fatalf("Search = %+v", rs)
+	}
+	if bf.Len() != 4 {
+		t.Fatalf("Len = %d", bf.Len())
+	}
+}
+
+func TestBruteForceEdgeCases(t *testing.T) {
+	bf := NewBruteForce(nil)
+	if got := bf.Search([]float32{1}, 3); got != nil {
+		t.Fatalf("empty index returned %v", got)
+	}
+	bf = NewBruteForce([][]float32{{1, 1}})
+	if got := bf.Search([]float32{0, 0}, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := bf.Search([]float32{0, 0}, 10); len(got) != 1 {
+		t.Fatalf("k>n returned %d results", len(got))
+	}
+}
+
+func TestRecall(t *testing.T) {
+	exact := []Result{{ID: 1}, {ID: 2}, {ID: 3}}
+	approx := []Result{{ID: 2}, {ID: 9}, {ID: 1}}
+	if got := Recall(approx, exact); got < 0.66 || got > 0.67 {
+		t.Fatalf("Recall = %v, want 2/3", got)
+	}
+	if Recall(nil, nil) != 1 {
+		t.Fatal("Recall with empty truth should be 1")
+	}
+}
+
+func TestTauMGRejectsBadInput(t *testing.T) {
+	if _, err := NewTauMG(nil, TauMGConfig{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := NewTauMG([][]float32{{}}, TauMGConfig{}); err == nil {
+		t.Fatal("zero-dim input accepted")
+	}
+	if _, err := NewTauMG([][]float32{{1, 2}, {1}}, TauMGConfig{}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestTauMGHighRecall(t *testing.T) {
+	vecs := testVectors(800, 16, 1)
+	idx, err := NewTauMG(vecs, TauMGConfig{Tau: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := NewBruteForce(vecs)
+	queries := testVectors(50, 16, 2)
+	ev := Evaluate(idx, bf, queries, 10, 0.05)
+	if ev.RecallAtK < 0.9 {
+		t.Fatalf("recall@10 = %.3f, want ≥ 0.9 (%s)", ev.RecallAtK, ev)
+	}
+	if ev.AvgDistComps >= float64(len(vecs)) {
+		t.Fatalf("beam search did %f dist comps, no better than brute force", ev.AvgDistComps)
+	}
+}
+
+func TestMRNGIsTauZero(t *testing.T) {
+	vecs := testVectors(200, 8, 3)
+	idx, err := NewMRNG(vecs, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tau() != 0 {
+		t.Fatalf("MRNG tau = %v", idx.Tau())
+	}
+	if idx.Len() != 200 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestTauMGLargerTauKeepsMoreEdges(t *testing.T) {
+	vecs := testVectors(300, 8, 4)
+	small, err := NewTauMG(vecs, TauMGConfig{Tau: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewTauMG(vecs, TauMGConfig{Tau: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.AvgDegree() < small.AvgDegree() {
+		t.Fatalf("tau=0.3 degree %.2f < tau=0 degree %.2f; occlusion should weaken with tau",
+			big.AvgDegree(), small.AvgDegree())
+	}
+}
+
+func TestGreedyRouteFindsNearOptimal(t *testing.T) {
+	vecs := testVectors(500, 8, 5)
+	idx, err := NewTauMG(vecs, TauMGConfig{Tau: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := NewBruteForce(vecs)
+	queries := testVectors(40, 8, 6)
+	okCount := 0
+	for _, q := range queries {
+		got, stats := idx.GreedyRoute(q)
+		truth := bf.Search(q, 1)[0]
+		if got.ID == truth.ID || float64(got.Dist) <= 1.25*float64(truth.Dist) {
+			okCount++
+		}
+		if stats.Hops == 0 {
+			t.Fatal("greedy route took zero hops")
+		}
+	}
+	if okCount < 30 {
+		t.Fatalf("greedy routing acceptable on only %d/40 queries", okCount)
+	}
+}
+
+func TestGreedyRouteEmpty(t *testing.T) {
+	g := &graphIndex{}
+	r, _ := g.GreedyRoute([]float32{1})
+	if r.ID != -1 {
+		t.Fatalf("empty route ID = %d", r.ID)
+	}
+}
+
+func TestAllNodesReachable(t *testing.T) {
+	// Duplicate points are the degenerate case occlusion struggles with.
+	vecs := make([][]float32, 60)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vecs {
+		if i%3 == 0 {
+			vecs[i] = []float32{1, 1, 1}
+		} else {
+			v := make([]float32, 3)
+			for j := range v {
+				v[j] = float32(rng.NormFloat64())
+			}
+			vecs[i] = v
+		}
+	}
+	idx, err := NewTauMG(vecs, TauMGConfig{Tau: 0.1, MaxDegree: 4, CandidatePool: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(vecs))
+	stack := []int{idx.entry}
+	seen[idx.entry] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range idx.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, int(v))
+			}
+		}
+	}
+	if count != len(vecs) {
+		t.Fatalf("only %d/%d nodes reachable from entry", count, len(vecs))
+	}
+}
+
+func TestNSWRecall(t *testing.T) {
+	vecs := testVectors(600, 16, 8)
+	idx, err := NewNSW(vecs, NSWConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := NewBruteForce(vecs)
+	ev := Evaluate(idx, bf, testVectors(40, 16, 9), 10, 0.05)
+	if ev.RecallAtK < 0.8 {
+		t.Fatalf("NSW recall@10 = %.3f (%s)", ev.RecallAtK, ev)
+	}
+}
+
+func TestNSWRejectsBadInput(t *testing.T) {
+	if _, err := NewNSW(nil, NSWConfig{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestEvaluateEmptyQueries(t *testing.T) {
+	vecs := testVectors(10, 4, 10)
+	bf := NewBruteForce(vecs)
+	ev := Evaluate(bf, bf, nil, 5, 0.1)
+	if ev.Queries != 0 {
+		t.Fatalf("Queries = %d", ev.Queries)
+	}
+}
+
+func TestEvaluateSelfIsPerfect(t *testing.T) {
+	vecs := testVectors(100, 8, 11)
+	bf := NewBruteForce(vecs)
+	ev := Evaluate(bf, bf, testVectors(20, 8, 12), 5, 0.01)
+	if ev.RecallAt1 != 1 || ev.RecallAtK != 1 || ev.EpsilonOK != 1 {
+		t.Fatalf("self evaluation imperfect: %s", ev)
+	}
+	if ev.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestClusteredVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vs := ClusteredVectors(100, 8, 5, 0.05, rng)
+	if len(vs) != 100 || len(vs[0]) != 8 {
+		t.Fatalf("shape %dx%d", len(vs), len(vs[0]))
+	}
+	vs = ClusteredVectors(10, 4, 0, 0.1, rng) // c<1 clamps to 1
+	if len(vs) != 10 {
+		t.Fatal("c=0 not clamped")
+	}
+}
+
+func TestSqrt32(t *testing.T) {
+	for _, c := range []struct{ in, want float32 }{{0, 0}, {-1, 0}, {4, 2}, {9, 3}, {2, 1.4142135}} {
+		if got := sqrt32(c.in); got < c.want-1e-4 || got > c.want+1e-4 {
+			t.Fatalf("sqrt32(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSortResults(t *testing.T) {
+	rs := []Result{{ID: 2, Dist: 1}, {ID: 1, Dist: 1}, {ID: 0, Dist: 0.5}}
+	sortResults(rs)
+	if rs[0].ID != 0 || rs[1].ID != 1 || rs[2].ID != 2 {
+		t.Fatalf("sortResults = %+v", rs)
+	}
+}
+
+// Property: beam search distances are consistent with vecmath.L2 and results
+// arrive sorted.
+func TestQuickTauMGResultsSorted(t *testing.T) {
+	vecs := testVectors(150, 8, 20)
+	idx, err := NewTauMG(vecs, TauMGConfig{Tau: 0.05, MaxDegree: 12, CandidatePool: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		q := testVectors(1, 8, seed)[0]
+		rs := idx.Search(q, 5)
+		for i := range rs {
+			if vecmath.L2(q, vecs[rs[i].ID]) != rs[i].Dist {
+				return false
+			}
+			if i > 0 && rs[i].Dist < rs[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recall of an index against itself as truth is always 1.
+func TestQuickRecallIdentity(t *testing.T) {
+	f := func(ids []int) bool {
+		rs := make([]Result, len(ids))
+		for i, id := range ids {
+			rs[i] = Result{ID: id}
+		}
+		return Recall(rs, rs) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,94 @@
+package ann
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Evaluation aggregates quality and work metrics over a query batch; the E5
+// benchmark prints one of these per (index, n) cell.
+type Evaluation struct {
+	Queries        int
+	RecallAt1      float64
+	RecallAtK      float64
+	K              int
+	AvgHops        float64
+	AvgDistComps   float64
+	EpsilonOK      float64 // fraction of queries satisfying Definition 2
+	Epsilon        float64
+	AvgNeighborGap float64 // mean (approx1Dist − exact1Dist)
+}
+
+// Evaluate runs every query through idx and an exact baseline and aggregates
+// recall@1, recall@k, routing work, and the Definition 2 ε-approximation
+// rate: d(h′,h) < (1+ε)·d(h*,h).
+func Evaluate(idx Index, exact *BruteForce, queries [][]float32, k int, epsilon float64) Evaluation {
+	ev := Evaluation{Queries: len(queries), K: k, Epsilon: epsilon}
+	if len(queries) == 0 {
+		return ev
+	}
+	for _, q := range queries {
+		truth := exact.Search(q, k)
+		got, stats := idx.SearchWithStats(q, k)
+		ev.RecallAtK += Recall(got, truth)
+		if len(got) > 0 && len(truth) > 0 {
+			if got[0].ID == truth[0].ID {
+				ev.RecallAt1++
+			}
+			if float64(got[0].Dist) <= (1+epsilon)*float64(truth[0].Dist)+1e-9 {
+				ev.EpsilonOK++
+			}
+			ev.AvgNeighborGap += float64(got[0].Dist - truth[0].Dist)
+		}
+		ev.AvgHops += float64(stats.Hops)
+		ev.AvgDistComps += float64(stats.DistComps)
+	}
+	n := float64(len(queries))
+	ev.RecallAt1 /= n
+	ev.RecallAtK /= n
+	ev.AvgHops /= n
+	ev.AvgDistComps /= n
+	ev.EpsilonOK /= n
+	ev.AvgNeighborGap /= n
+	return ev
+}
+
+// String renders one benchmark table row.
+func (e Evaluation) String() string {
+	return fmt.Sprintf("queries=%d recall@1=%.3f recall@%d=%.3f eps(%.2f)-ok=%.3f hops=%.1f distcomps=%.1f",
+		e.Queries, e.RecallAt1, e.K, e.RecallAtK, e.Epsilon, e.EpsilonOK, e.AvgHops, e.AvgDistComps)
+}
+
+// RandomVectors generates n unit-scale Gaussian vectors of dimension d, the
+// synthetic workload for the ANN benchmarks.
+func RandomVectors(n, d int, rng *rand.Rand) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ClusteredVectors generates n vectors around c Gaussian cluster centers with
+// the given intra-cluster spread — a harder, more realistic workload than
+// uniform noise because proximity graphs must route between clusters.
+func ClusteredVectors(n, d, c int, spread float64, rng *rand.Rand) [][]float32 {
+	if c < 1 {
+		c = 1
+	}
+	centers := RandomVectors(c, d, rng)
+	out := make([][]float32, n)
+	for i := range out {
+		ctr := centers[rng.Intn(c)]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = ctr[j] + float32(rng.NormFloat64()*spread)
+		}
+		out[i] = v
+	}
+	return out
+}

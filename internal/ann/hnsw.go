@@ -1,0 +1,239 @@
+package ann
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"chatgraph/internal/vecmath"
+)
+
+// HNSW is the hierarchical navigable-small-world baseline: NSW layers
+// stacked so upper layers provide exponentially sparser long-range "express
+// lanes" into the dense bottom layer. It is the strongest practical ANN
+// baseline in the surveys the paper cites, so benchmark E5 includes it next
+// to τ-MG.
+type HNSW struct {
+	vecs   [][]float32
+	layers [][][]int32 // layers[l][node] = neighbors at level l
+	levels []int       // levels[node] = highest layer of node
+	entry  int
+	maxLvl int
+	m      int
+	beam   int
+}
+
+// HNSWConfig tunes construction.
+type HNSWConfig struct {
+	// M is the per-layer link budget (0 → 16; layer 0 gets 2·M).
+	M int
+	// EFConstruction is the insert-time beam width (0 → 64).
+	EFConstruction int
+	// Beam is the default query-time beam width (0 → 64).
+	Beam int
+	// Seed drives level sampling.
+	Seed int64
+}
+
+func (c *HNSWConfig) setDefaults() {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EFConstruction <= 0 {
+		c.EFConstruction = 64
+	}
+	if c.Beam <= 0 {
+		c.Beam = 64
+	}
+}
+
+// NewHNSW builds an HNSW index over vecs.
+func NewHNSW(vecs [][]float32, cfg HNSWConfig) (*HNSW, error) {
+	if err := checkVectors(vecs); err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(len(vecs))))
+	levelMult := 1 / math.Log(float64(cfg.M))
+	h := &HNSW{
+		vecs:   vecs,
+		levels: make([]int, len(vecs)),
+		m:      cfg.M,
+		beam:   cfg.Beam,
+	}
+	for i := range vecs {
+		lvl := int(math.Floor(-math.Log(rng.Float64()+1e-12) * levelMult))
+		h.levels[i] = lvl
+		for lvl >= len(h.layers) {
+			h.layers = append(h.layers, make([][]int32, len(vecs)))
+		}
+		if i == 0 {
+			h.entry = 0
+			h.maxLvl = lvl
+			continue
+		}
+		h.insert(i, cfg.EFConstruction)
+		if lvl > h.maxLvl {
+			h.maxLvl = lvl
+			h.entry = i
+		}
+	}
+	return h, nil
+}
+
+// insert links node i into every layer up to its level.
+func (h *HNSW) insert(i, efc int) {
+	q := h.vecs[i]
+	cur := h.entry
+	// Greedy descent through layers above the node's level.
+	for l := h.maxLvl; l > h.levels[i]; l-- {
+		cur = h.greedyLayer(q, cur, l)
+	}
+	// Beam insert on the node's layers, top-down.
+	for l := min(h.levels[i], h.maxLvl); l >= 0; l-- {
+		cands := h.searchLayer(q, cur, efc, l)
+		budget := h.m
+		if l == 0 {
+			budget = 2 * h.m
+		}
+		if len(cands) > budget {
+			cands = cands[:budget]
+		}
+		for _, c := range cands {
+			h.layers[l][i] = append(h.layers[l][i], int32(c.ID))
+			h.layers[l][c.ID] = append(h.layers[l][c.ID], int32(i))
+			// Prune over-budget reverse lists, keeping the closest.
+			if len(h.layers[l][c.ID]) > budget*2 {
+				h.pruneNeighbors(c.ID, l, budget*2)
+			}
+		}
+		if len(cands) > 0 {
+			cur = cands[0].ID
+		}
+	}
+}
+
+// pruneNeighbors keeps node u's `keep` nearest links at layer l.
+func (h *HNSW) pruneNeighbors(u, l, keep int) {
+	nbs := h.layers[l][u]
+	rs := make([]Result, len(nbs))
+	for i, v := range nbs {
+		rs[i] = Result{ID: int(v), Dist: vecmath.L2(h.vecs[u], h.vecs[v])}
+	}
+	sortResults(rs)
+	if keep > len(rs) {
+		keep = len(rs)
+	}
+	out := make([]int32, keep)
+	for i := 0; i < keep; i++ {
+		out[i] = int32(rs[i].ID)
+	}
+	h.layers[l][u] = out
+}
+
+// greedyLayer walks greedily toward q within one layer.
+func (h *HNSW) greedyLayer(q []float32, start, l int) int {
+	cur := start
+	curDist := vecmath.L2(q, h.vecs[cur])
+	for {
+		improved := false
+		for _, nb := range h.layers[l][cur] {
+			if d := vecmath.L2(q, h.vecs[nb]); d < curDist {
+				cur, curDist = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is a beam search within one layer, returning up to ef results
+// sorted by distance.
+func (h *HNSW) searchLayer(q []float32, start, ef, l int) []Result {
+	rs, _ := h.searchLayerStats(q, start, ef, l, nil)
+	return rs
+}
+
+func (h *HNSW) searchLayerStats(q []float32, start, ef, l int, stats *SearchStats) ([]Result, *SearchStats) {
+	if stats == nil {
+		stats = &SearchStats{}
+	}
+	visited := map[int32]bool{int32(start): true}
+	d0 := vecmath.L2(q, h.vecs[start])
+	stats.DistComps++
+	frontier := minHeap{{ID: start, Dist: d0}}
+	best := maxHeap{{ID: start, Dist: d0}}
+	for frontier.Len() > 0 {
+		cur := heap.Pop(&frontier).(Result)
+		if best.Len() >= ef && cur.Dist > best[0].Dist {
+			break
+		}
+		stats.Hops++
+		for _, nb := range h.layers[l][cur.ID] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := vecmath.L2(q, h.vecs[nb])
+			stats.DistComps++
+			if best.Len() < ef || d < best[0].Dist {
+				heap.Push(&frontier, Result{ID: int(nb), Dist: d})
+				heap.Push(&best, Result{ID: int(nb), Dist: d})
+				if best.Len() > ef {
+					heap.Pop(&best)
+				}
+			}
+		}
+	}
+	out := make([]Result, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&best).(Result)
+	}
+	return out, stats
+}
+
+// Len implements Index.
+func (h *HNSW) Len() int { return len(h.vecs) }
+
+// Search implements Index.
+func (h *HNSW) Search(q []float32, k int) []Result {
+	rs, _ := h.SearchWithStats(q, k)
+	return rs
+}
+
+// SearchWithStats implements Index.
+func (h *HNSW) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
+	if len(h.vecs) == 0 || k <= 0 {
+		return nil, SearchStats{}
+	}
+	ef := h.beam
+	if ef < k {
+		ef = k
+	}
+	stats := &SearchStats{}
+	cur := h.entry
+	for l := h.maxLvl; l > 0; l-- {
+		before := cur
+		cur = h.greedyLayer(q, cur, l)
+		if cur != before {
+			stats.Hops++
+		}
+	}
+	rs, stats := h.searchLayerStats(q, cur, ef, 0, stats)
+	if k < len(rs) {
+		rs = rs[:k]
+	}
+	return rs, *stats
+}
+
+// MaxLevel reports the top layer index (diagnostics).
+func (h *HNSW) MaxLevel() int { return h.maxLvl }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package ann
+
+import (
+	"testing"
+)
+
+func TestHNSWRejectsBadInput(t *testing.T) {
+	if _, err := NewHNSW(nil, HNSWConfig{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestHNSWRecall(t *testing.T) {
+	vecs := testVectors(800, 16, 21)
+	idx, err := NewHNSW(vecs, HNSWConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 800 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	bf := NewBruteForce(vecs)
+	ev := Evaluate(idx, bf, testVectors(50, 16, 22), 10, 0.05)
+	if ev.RecallAtK < 0.9 {
+		t.Fatalf("HNSW recall@10 = %.3f (%s)", ev.RecallAtK, ev)
+	}
+	if ev.AvgDistComps >= float64(len(vecs)) {
+		t.Fatalf("HNSW did %f dist comps, no better than brute force", ev.AvgDistComps)
+	}
+}
+
+func TestHNSWClusteredData(t *testing.T) {
+	vecs := ClusteredVectors(600, 16, 8, 0.2, newRng(23))
+	idx, err := NewHNSW(vecs, HNSWConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := NewBruteForce(vecs)
+	ev := Evaluate(idx, bf, ClusteredVectors(40, 16, 8, 0.2, newRng(24)), 5, 0.05)
+	if ev.RecallAtK < 0.8 {
+		t.Fatalf("clustered recall = %.3f", ev.RecallAtK)
+	}
+}
+
+func TestHNSWHasLayers(t *testing.T) {
+	vecs := testVectors(2000, 8, 25)
+	idx, err := NewHNSW(vecs, HNSWConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.MaxLevel() < 1 {
+		t.Fatalf("2000-point HNSW has max level %d, expected hierarchy", idx.MaxLevel())
+	}
+}
+
+func TestHNSWSmallK(t *testing.T) {
+	vecs := testVectors(50, 4, 26)
+	idx, err := NewHNSW(vecs, HNSWConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Search(vecs[7], 1); len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("self search = %v", got)
+	}
+	if got := idx.Search(vecs[0], 0); got != nil {
+		t.Fatalf("k=0 = %v", got)
+	}
+}

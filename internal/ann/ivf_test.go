@@ -1,0 +1,72 @@
+package ann
+
+import (
+	"testing"
+)
+
+func TestIVFRejectsBadInput(t *testing.T) {
+	if _, err := NewIVFFlat(nil, IVFConfig{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestIVFExactWhenProbingAll(t *testing.T) {
+	vecs := testVectors(300, 8, 41)
+	ix, err := NewIVFFlat(vecs, IVFConfig{NList: 8, NProbe: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := NewBruteForce(vecs)
+	for _, q := range testVectors(20, 8, 42) {
+		got := ix.Search(q, 5)
+		want := bf.Search(q, 5)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("full-probe IVF differs from exact: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestIVFPartialProbeRecall(t *testing.T) {
+	vecs := ClusteredVectors(1000, 16, 10, 0.2, newRng(43))
+	ix, err := NewIVFFlat(vecs, IVFConfig{NList: 16, NProbe: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := NewBruteForce(vecs)
+	ev := Evaluate(ix, bf, ClusteredVectors(50, 16, 10, 0.2, newRng(44)), 10, 0.05)
+	if ev.RecallAtK < 0.8 {
+		t.Fatalf("IVF recall@10 = %.3f (%s)", ev.RecallAtK, ev)
+	}
+	if ev.AvgDistComps >= float64(len(vecs)) {
+		t.Fatalf("IVF scanned everything: %v", ev.AvgDistComps)
+	}
+}
+
+func TestIVFDefaults(t *testing.T) {
+	vecs := testVectors(100, 4, 45)
+	ix, err := NewIVFFlat(vecs, IVFConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 100 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.NProbe() < 1 {
+		t.Fatalf("NProbe = %d", ix.NProbe())
+	}
+	if got := ix.Search(vecs[0], 0); got != nil {
+		t.Fatalf("k=0 = %v", got)
+	}
+	if got := ix.Search(vecs[3], 1); len(got) != 1 {
+		t.Fatalf("search = %v", got)
+	}
+}
+
+func TestIVFNListClamped(t *testing.T) {
+	vecs := testVectors(5, 4, 46)
+	if _, err := NewIVFFlat(vecs, IVFConfig{NList: 50, NProbe: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

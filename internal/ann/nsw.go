@@ -1,0 +1,79 @@
+package ann
+
+// NSW is the navigable-small-world baseline: vectors are inserted one at a
+// time, each connecting bidirectionally to the M nearest nodes found by a
+// beam search over the graph built so far. It is the classic pre-HNSW
+// construction the ANN surveys cited by the paper benchmark against.
+type NSW struct {
+	graphIndex
+	m int
+}
+
+// NSWConfig tunes NSW construction.
+type NSWConfig struct {
+	// M is the number of bidirectional links per inserted node (0 → 16).
+	M int
+	// EFConstruction is the beam width used to find link targets during
+	// insertion (0 → 64).
+	EFConstruction int
+	// Beam is the default search beam width (0 → 64).
+	Beam int
+}
+
+func (c *NSWConfig) setDefaults() {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EFConstruction <= 0 {
+		c.EFConstruction = 64
+	}
+	if c.Beam <= 0 {
+		c.Beam = 64
+	}
+}
+
+// NewNSW builds an NSW graph over vecs.
+func NewNSW(vecs [][]float32, cfg NSWConfig) (*NSW, error) {
+	if err := checkVectors(vecs); err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+	g := &NSW{m: cfg.M}
+	g.vecs = vecs[:1]
+	g.adj = make([][]int32, 1, len(vecs))
+	g.entry = 0
+	g.beam = cfg.Beam
+	for i := 1; i < len(vecs); i++ {
+		targets, _ := g.beamSearch(vecs[i], cfg.EFConstruction)
+		if len(targets) > cfg.M {
+			targets = targets[:cfg.M]
+		}
+		g.vecs = vecs[:i+1]
+		g.adj = append(g.adj, nil)
+		for _, tgt := range targets {
+			g.adj[i] = append(g.adj[i], int32(tgt.ID))
+			g.adj[tgt.ID] = append(g.adj[tgt.ID], int32(i))
+		}
+	}
+	g.entry = medoid(vecs)
+	return g, nil
+}
+
+// Search implements Index.
+func (g *NSW) Search(q []float32, k int) []Result {
+	rs, _ := g.SearchWithStats(q, k)
+	return rs
+}
+
+// SearchWithStats implements Index.
+func (g *NSW) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
+	ef := g.beam
+	if ef < k {
+		ef = k
+	}
+	rs, stats := g.beamSearch(q, ef)
+	if k < len(rs) {
+		rs = rs[:k]
+	}
+	return rs, stats
+}

@@ -1,0 +1,242 @@
+package ann
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// TauMG is the τ-monotonic proximity graph of the paper's Definition 3
+// ("Efficient approximate nearest neighbor search in multi-dimensional
+// databases", Peng et al., SIGMOD 2023), built here from its edge-occlusion
+// rule:
+//
+//	Given nodes u, u′, v with edge (u,u′) already selected, the edge (u,v)
+//	is occluded (not added) if u′ lies in ball(u, δ(u,v)) ∩ ball(v, δ(u,v)−3τ),
+//	i.e. δ(u,u′) < δ(u,v) and δ(v,u′) < δ(u,v) − 3τ.
+//
+// With τ = 0 the rule degenerates to the MRNG rule, so NewMRNG simply calls
+// NewTauMG with τ = 0. Larger τ keeps more long edges, which shortens greedy
+// routing paths at the cost of degree — the trade-off benchmark E5 sweeps.
+type TauMG struct {
+	graphIndex
+	tau float32
+}
+
+// TauMGConfig tunes construction.
+type TauMGConfig struct {
+	// Tau is the τ parameter of the occlusion rule. Zero yields MRNG.
+	Tau float32
+	// MaxDegree caps per-node out-degree (0 means the default 32).
+	MaxDegree int
+	// CandidatePool is how many nearest neighbors are considered per node
+	// during construction (0 means the default 96). Larger pools build
+	// better graphs more slowly.
+	CandidatePool int
+	// RandomCandidates adds this many uniformly sampled far candidates to
+	// each node's pool (0 means the default 16). On clustered data a pure
+	// kNN pool leaves clusters mutually unreachable; the long candidates
+	// give the occlusion rule long edges to keep, restoring navigability.
+	RandomCandidates int
+	// Beam is the default beam width (ef) for Search (0 means 64).
+	Beam int
+	// Seed drives the random candidate sampling (build is deterministic
+	// for a fixed seed).
+	Seed int64
+}
+
+func (c *TauMGConfig) setDefaults() {
+	if c.MaxDegree <= 0 {
+		c.MaxDegree = 32
+	}
+	if c.CandidatePool <= 0 {
+		c.CandidatePool = 96
+	}
+	if c.RandomCandidates == 0 {
+		c.RandomCandidates = 16
+	}
+	if c.RandomCandidates < 0 {
+		c.RandomCandidates = 0
+	}
+	if c.Beam <= 0 {
+		c.Beam = 64
+	}
+}
+
+// NewTauMG builds a τ-MG over vecs. Construction computes, for every node,
+// its CandidatePool exact nearest neighbors (O(n²·d) — fine at retrieval
+// scale; the API registry has tens to thousands of entries) and then applies
+// the occlusion rule in ascending distance order.
+func NewTauMG(vecs [][]float32, cfg TauMGConfig) (*TauMG, error) {
+	if err := checkVectors(vecs); err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+	n := len(vecs)
+	t := &TauMG{tau: cfg.Tau}
+	t.vecs = vecs
+	t.beam = cfg.Beam
+	t.adj = make([][]int32, n)
+
+	// Exact candidate pools via per-node linear scans.
+	bf := NewBruteForce(vecs)
+	pool := cfg.CandidatePool
+	if pool > n-1 {
+		pool = n - 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+	for u := 0; u < n; u++ {
+		cands := bf.Search(vecs[u], pool+1) // +1: the node itself is returned first
+		for r := 0; r < cfg.RandomCandidates; r++ {
+			v := rng.Intn(n)
+			if v != u {
+				cands = append(cands, Result{ID: v, Dist: dist(vecs[u], vecs[v])})
+			}
+		}
+		sortResults(cands)
+		selected := make([]int32, 0, cfg.MaxDegree)
+		prevID := -1
+		for _, c := range cands {
+			if c.ID == u || c.ID == prevID {
+				continue
+			}
+			prevID = c.ID
+			if len(selected) >= cfg.MaxDegree {
+				break
+			}
+			if !t.occluded(u, c, selected) {
+				selected = append(selected, int32(c.ID))
+			}
+		}
+		t.adj[u] = selected
+	}
+	t.entry = medoid(vecs)
+	t.ensureReachable()
+	return t, nil
+}
+
+// occluded applies Definition 3: candidate edge (u,v) is blocked if any
+// already-selected neighbor u′ of u satisfies δ(u,u′) < δ(u,v) and
+// δ(v,u′) < δ(u,v) − 3τ. Candidates arrive in ascending δ(u,v) order, so
+// δ(u,u′) < δ(u,v) holds for all selected u′ automatically; only the second
+// ball test is evaluated.
+func (t *TauMG) occluded(u int, v Result, selected []int32) bool {
+	limit := v.Dist - 3*t.tau
+	if limit <= 0 {
+		return false // the second ball is empty; nothing can occlude
+	}
+	for _, up := range selected {
+		if dist(t.vecs[v.ID], t.vecs[up]) < limit {
+			return true
+		}
+	}
+	return false
+}
+
+func dist(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return sqrt32(s)
+}
+
+func sqrt32(x float32) float32 {
+	// Newton iterations on a float64 seed keep this dependency-free and
+	// precise enough for distance comparison.
+	if x <= 0 {
+		return 0
+	}
+	f := float64(x)
+	r := f
+	for i := 0; i < 32; i++ {
+		nr := 0.5 * (r + f/r)
+		if diff := r - nr; diff < 1e-12 && diff > -1e-12 {
+			r = nr
+			break
+		}
+		r = nr
+	}
+	return float32(r)
+}
+
+// ensureReachable adds an edge from the entry point to the first node of any
+// weakly unreachable region so every vector is searchable. Occlusion can in
+// rare degenerate datasets (many duplicate points) orphan nodes.
+func (t *TauMG) ensureReachable() {
+	n := len(t.vecs)
+	seen := make([]bool, n)
+	stack := []int{t.entry}
+	seen[t.entry] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range t.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, int(v))
+			}
+		}
+	}
+	if count == n {
+		return
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			t.adj[t.entry] = append(t.adj[t.entry], int32(v))
+			// Mark the whole newly connected region.
+			stack = append(stack, v)
+			seen[v] = true
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range t.adj[u] {
+					if !seen[w] {
+						seen[w] = true
+						stack = append(stack, int(w))
+					}
+				}
+			}
+		}
+	}
+}
+
+// Tau returns the τ the graph was built with.
+func (t *TauMG) Tau() float32 { return t.tau }
+
+// Search implements Index using beam search with the configured beam width.
+func (t *TauMG) Search(q []float32, k int) []Result {
+	rs, _ := t.SearchWithStats(q, k)
+	return rs
+}
+
+// SearchWithStats implements Index.
+func (t *TauMG) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
+	ef := t.beam
+	if ef < k {
+		ef = k
+	}
+	rs, stats := t.beamSearch(q, ef)
+	if k < len(rs) {
+		rs = rs[:k]
+	}
+	return rs, stats
+}
+
+// NewMRNG builds the MRNG baseline: a τ-MG with τ = 0, whose occlusion rule
+// is exactly the monotonic relative neighborhood rule.
+func NewMRNG(vecs [][]float32, maxDegree, beam int) (*TauMG, error) {
+	return NewTauMG(vecs, TauMGConfig{Tau: 0, MaxDegree: maxDegree, Beam: beam})
+}
+
+// sortResults orders hits by distance then ID, the canonical result order.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}

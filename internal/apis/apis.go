@@ -1,0 +1,261 @@
+// Package apis defines the graph-analysis API registry ChatGraph retrieves
+// from and executes against. Each API carries natural-language metadata (the
+// text the retrieval module embeds) and an executable implementation over
+// the internal/graph substrate. The registry covers the four demonstration
+// scenarios: social understanding, molecule chemistry, similarity
+// comparison, and knowledge-graph cleaning.
+package apis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"chatgraph/internal/chain"
+	"chatgraph/internal/graph"
+	"chatgraph/internal/kg"
+	"chatgraph/internal/moldb"
+)
+
+// Output is the result of one API invocation. Text is always set and is what
+// chat transcripts show; Data carries the machine-readable payload piped to
+// the next chain step.
+type Output struct {
+	Text string
+	Data any
+}
+
+// Input is what an API implementation receives.
+type Input struct {
+	// Graph is the user-uploaded graph the chain operates on. APIs that
+	// edit graphs mutate this instance.
+	Graph *graph.Graph
+	// Prev is the previous step's Output (zero for the first step).
+	Prev Output
+	// Args are the invocation arguments from the chain step.
+	Args map[string]string
+	// Env exposes shared resources (molecule DB, KG detector).
+	Env *Env
+}
+
+// Arg returns the named argument or def when absent.
+func (in Input) Arg(name, def string) string {
+	if v, ok := in.Args[name]; ok && v != "" {
+		return v
+	}
+	return def
+}
+
+// IntArg returns the named argument parsed as int, or def when absent or
+// malformed arguments were already rejected by validation.
+func (in Input) IntArg(name string, def int) int {
+	v, ok := in.Args[name]
+	if !ok || v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// Env carries the shared substrate resources APIs may need.
+type Env struct {
+	// MolDB is the molecule database for similarity search (scenario 2).
+	MolDB *moldb.DB
+	// Detector finds knowledge-graph defects (scenario 3).
+	Detector *kg.Detector
+}
+
+// Param documents one API argument.
+type Param struct {
+	Name        string
+	Description string
+	Required    bool
+	Default     string
+	// Kind is "int", "float", "string", or "enum".
+	Kind string
+	// Enum lists legal values when Kind == "enum".
+	Enum []string
+}
+
+// API is one registered graph-analysis operation.
+type API struct {
+	// Name is the dotted registry key, e.g. "community.detect".
+	Name string
+	// Description is the sentence the retrieval module embeds.
+	Description string
+	// Category groups APIs: "understand", "molecule", "compare", "clean",
+	// "util".
+	Category string
+	// Kinds lists which graph kinds the API applies to (empty = any).
+	Kinds []graph.Kind
+	// Params documents accepted arguments.
+	Params []Param
+	// Fn executes the API.
+	Fn func(Input) (Output, error)
+}
+
+// Registry is a concurrency-safe API catalog; it implements chain.Validator.
+type Registry struct {
+	mu   sync.RWMutex
+	apis map[string]API
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{apis: make(map[string]API)}
+}
+
+// Register adds an API; re-registering an existing name is an error.
+func (r *Registry) Register(a API) error {
+	if a.Name == "" || a.Fn == nil {
+		return fmt.Errorf("apis: API must have a name and an implementation")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.apis[a.Name]; dup {
+		return fmt.Errorf("apis: %q already registered", a.Name)
+	}
+	r.apis[a.Name] = a
+	return nil
+}
+
+// mustRegister panics on registration conflicts — used only for the built-in
+// catalog, where a duplicate is a programming error.
+func (r *Registry) mustRegister(a API) {
+	if err := r.Register(a); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the named API.
+func (r *Registry) Get(name string) (API, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.apis[name]
+	return a, ok
+}
+
+// Len reports how many APIs are registered.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.apis)
+}
+
+// All returns every API sorted by name.
+func (r *Registry) All() []API {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]API, 0, len(r.apis))
+	for _, a := range r.apis {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns every API name sorted.
+func (r *Registry) Names() []string {
+	all := r.All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ByCategory returns the APIs in one category, sorted by name.
+func (r *Registry) ByCategory(cat string) []API {
+	var out []API
+	for _, a := range r.All() {
+		if a.Category == cat {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ValidateStep implements chain.Validator: the API must exist, required
+// params must be present, and enum/int params must parse.
+func (r *Registry) ValidateStep(s chain.Step) error {
+	a, ok := r.Get(s.API)
+	if !ok {
+		return fmt.Errorf("unknown API %q", s.API)
+	}
+	known := make(map[string]Param, len(a.Params))
+	for _, p := range a.Params {
+		known[p.Name] = p
+		v, present := s.Args[p.Name]
+		if !present {
+			if p.Required {
+				return fmt.Errorf("missing required argument %q", p.Name)
+			}
+			continue
+		}
+		switch p.Kind {
+		case "int":
+			if _, err := strconv.Atoi(v); err != nil {
+				return fmt.Errorf("argument %q must be an integer, got %q", p.Name, v)
+			}
+		case "float":
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				return fmt.Errorf("argument %q must be a number, got %q", p.Name, v)
+			}
+		case "enum":
+			ok := false
+			for _, e := range p.Enum {
+				if e == v {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("argument %q must be one of %v, got %q", p.Name, p.Enum, v)
+			}
+		}
+	}
+	for arg := range s.Args {
+		if _, ok := known[arg]; !ok {
+			return fmt.Errorf("unexpected argument %q", arg)
+		}
+	}
+	return nil
+}
+
+// Invoke validates and executes one step against in.
+func (r *Registry) Invoke(s chain.Step, in Input) (Output, error) {
+	if err := r.ValidateStep(s); err != nil {
+		return Output{}, err
+	}
+	a, _ := r.Get(s.API)
+	if in.Args == nil {
+		in.Args = s.Args
+	}
+	return a.Fn(in)
+}
+
+// Default builds the full built-in catalog wired to env. A nil env gets
+// empty substrate resources (similarity search will report an empty DB).
+func Default(env *Env) *Registry {
+	if env == nil {
+		env = &Env{}
+	}
+	if env.MolDB == nil {
+		env.MolDB = moldb.New(3)
+	}
+	if env.Detector == nil {
+		env.Detector = kg.NewDetector()
+	}
+	r := NewRegistry()
+	registerUtil(r, env)
+	registerUnderstand(r, env)
+	registerMolecule(r, env)
+	registerCompare(r, env)
+	registerClean(r, env)
+	registerExtended(r, env)
+	return r
+}

@@ -1,0 +1,97 @@
+package apis
+
+import (
+	"fmt"
+	"strings"
+
+	"chatgraph/internal/graph"
+	"chatgraph/internal/moldb"
+)
+
+// registerCompare adds the graph-comparison APIs of scenario 2 (Fig. 5):
+// similarity search against the molecule database and pairwise similarity.
+func registerCompare(r *Registry, env *Env) {
+	r.mustRegister(API{
+		Name:        "similarity.search",
+		Description: "Search the molecule database for the molecules most similar to the given graph and return the top matches.",
+		Category:    "compare",
+		Params: []Param{
+			{Name: "top", Description: "how many matches to return", Kind: "int", Default: "2"},
+		},
+		Fn: func(in Input) (Output, error) {
+			if env.MolDB.Len() == 0 {
+				return Output{Text: "The molecule database is empty; nothing to compare against.", Data: []moldb.Match(nil)}, nil
+			}
+			k := in.IntArg("top", 2)
+			matches := env.MolDB.Search(in.Graph, k)
+			parts := make([]string, len(matches))
+			for i, m := range matches {
+				e, err := env.MolDB.Get(m.ID)
+				if err != nil {
+					return Output{}, fmt.Errorf("similarity.search: %w", err)
+				}
+				parts[i] = fmt.Sprintf("%s (similarity %.3f)", moldb.Describe(e), m.Similarity)
+			}
+			return Output{
+				Text: fmt.Sprintf("Top %d similar molecules: %s.", len(matches), strings.Join(parts, "; ")),
+				Data: matches,
+			}, nil
+		},
+	})
+	r.mustRegister(API{
+		Name:        "similarity.kernel",
+		Description: "Compute the Weisfeiler-Lehman structural similarity between the uploaded graph and a stored molecule.",
+		Category:    "compare",
+		Params: []Param{
+			{Name: "id", Description: "stored molecule id", Required: true, Kind: "int"},
+		},
+		Fn: func(in Input) (Output, error) {
+			e, err := env.MolDB.Get(in.IntArg("id", -1))
+			if err != nil {
+				return Output{}, err
+			}
+			sim := env.MolDB.Similarity(in.Graph, e.Graph)
+			return Output{
+				Text: fmt.Sprintf("Similarity between the uploaded graph and %s: %.3f.", e.Name, sim),
+				Data: sim,
+			}, nil
+		},
+	})
+	r.mustRegister(API{
+		Name:        "similarity.store",
+		Description: "Store the uploaded molecule graph in the molecule database for future comparisons.",
+		Category:    "compare",
+		Params: []Param{
+			{Name: "name", Description: "name to store the molecule under", Default: "uploaded"},
+		},
+		Fn: func(in Input) (Output, error) {
+			name := in.Arg("name", "uploaded")
+			id := env.MolDB.Add(name, in.Graph.Clone())
+			return Output{
+				Text: fmt.Sprintf("Stored the molecule as %q with id %d.", name, id),
+				Data: id,
+			}, nil
+		},
+	})
+	r.mustRegister(API{
+		Name:        "compare.stats",
+		Description: "Compare the structural statistics of the uploaded graph against a stored molecule side by side.",
+		Category:    "compare",
+		Params: []Param{
+			{Name: "id", Description: "stored molecule id", Required: true, Kind: "int"},
+		},
+		Fn: func(in Input) (Output, error) {
+			e, err := env.MolDB.Get(in.IntArg("id", -1))
+			if err != nil {
+				return Output{}, err
+			}
+			a := graph.ComputeStats(in.Graph)
+			b := graph.ComputeStats(e.Graph)
+			return Output{
+				Text: fmt.Sprintf("Uploaded: %d nodes / %d edges / %d triangles. %s: %d nodes / %d edges / %d triangles.",
+					a.Nodes, a.Edges, a.Triangles, e.Name, b.Nodes, b.Edges, b.Triangles),
+				Data: [2]graph.Stats{a, b},
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,37 @@
+package chain_test
+
+import (
+	"fmt"
+
+	"chatgraph/internal/chain"
+)
+
+func ExampleParse() {
+	c, err := chain.Parse("graph.classify -> community.detect(max_iters=20) -> report.compose")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(c), "steps")
+	fmt.Println(c[1].API, c[1].Args["max_iters"])
+	// Output:
+	// 3 steps
+	// community.detect 20
+}
+
+func ExampleLoss() {
+	generated, _ := chain.Parse("graph.classify -> kg.detect_all")
+	truth, _ := chain.Parse("graph.classify -> kg.detect_all -> graph.apply_edits")
+	// One missing step: edit distance 1 plus one unmatched node × α=0.5.
+	fmt.Printf("%.1f\n", chain.Loss(generated, truth, 0.5))
+	// Output:
+	// 1.5
+}
+
+func ExampleEditDistance() {
+	a, _ := chain.Parse("x -> y -> z")
+	b, _ := chain.Parse("x -> q -> z")
+	fmt.Println(chain.EditDistance(a, b))
+	// Output:
+	// 1
+}

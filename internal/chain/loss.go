@@ -1,0 +1,215 @@
+package chain
+
+import (
+	"math"
+)
+
+// This file implements the training signals of the paper's §II-C.
+//
+// The graph edit distance X between two chains is the classic sequence edit
+// distance with a graded substitution cost (same API + same args = 0, same
+// API = argCost, different API = 1) and unit insert/delete cost — chains are
+// linear graphs, so sequence edit distance IS their graph edit distance.
+//
+// The node-matching-based loss of Definition 1 is min_M X + αY where M is a
+// one-to-one node matching between the chains and Y penalizes unmatched
+// nodes: Y = Σ_{u∈C}(1−Σ_k M_{u,k})² + Σ_{v∈C′}(1−Σ_i M_{i,v})². The
+// optimal matching is computed with the Hungarian algorithm over the
+// pairwise substitution-cost matrix.
+
+// argCost is the substitution cost between two steps that call the same API
+// with different arguments — cheaper than a full API mismatch so the
+// matching prefers aligning same-API steps.
+const argCost = 0.25
+
+// stepCost is the substitution cost used by both the edit distance and the
+// matching.
+func stepCost(a, b Step) float64 {
+	if a.API != b.API {
+		return 1
+	}
+	if a.Equal(b) {
+		return 0
+	}
+	return argCost
+}
+
+// EditDistance returns the graph edit distance between two chains: the
+// minimum total cost of substitutions (stepCost), insertions, and deletions
+// (cost 1 each) transforming a into b.
+func EditDistance(a, b Chain) float64 {
+	n, m := len(a), len(b)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = float64(j)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = float64(i)
+		for j := 1; j <= m; j++ {
+			sub := prev[j-1] + stepCost(a[i-1], b[j-1])
+			ins := cur[j-1] + 1
+			del := prev[j] + 1
+			cur[j] = math.Min(sub, math.Min(ins, del))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// Matching is a one-to-one assignment between the steps of two chains.
+// Pairs[i] = j means step i of the first chain matches step j of the second;
+// -1 means unmatched.
+type Matching struct {
+	Pairs []int
+	// Cost is the total substitution cost over matched pairs.
+	Cost float64
+}
+
+// OptimalMatching computes the minimum-cost one-to-one matching between the
+// steps of a and b using the Hungarian algorithm on a square matrix padded
+// with dummy rows/columns of cost 1 (the cost of leaving a node unmatched,
+// equal to an insert/delete in the edit distance).
+func OptimalMatching(a, b Chain) Matching {
+	n, m := len(a), len(b)
+	size := n
+	if m > size {
+		size = m
+	}
+	if size == 0 {
+		return Matching{}
+	}
+	const unmatched = 1.0
+	cost := make([][]float64, size)
+	for i := range cost {
+		cost[i] = make([]float64, size)
+		for j := range cost[i] {
+			switch {
+			case i < n && j < m:
+				cost[i][j] = stepCost(a[i], b[j])
+			default:
+				cost[i][j] = unmatched
+			}
+		}
+	}
+	assign := hungarian(cost)
+	mt := Matching{Pairs: make([]int, n)}
+	for i := 0; i < n; i++ {
+		j := assign[i]
+		if j < m {
+			// Matching to a dummy is never better than a real pair of cost
+			// < 1; but a real pair of cost 1 is equivalent to unmatched, so
+			// treat full-cost pairs as unmatched for the regularizer.
+			if cost[i][j] < unmatched {
+				mt.Pairs[i] = j
+				mt.Cost += cost[i][j]
+				continue
+			}
+		}
+		mt.Pairs[i] = -1
+	}
+	return mt
+}
+
+// Loss evaluates Definition 1 for the generated chain c against the ground
+// truth truth: min_M X + αY with X the edit distance and Y the one-to-one
+// regularizer under the optimal matching.
+func Loss(c, truth Chain, alpha float64) float64 {
+	x := EditDistance(c, truth)
+	m := OptimalMatching(c, truth)
+	matchedTruth := make([]bool, len(truth))
+	unmatchedC := 0
+	for _, j := range m.Pairs {
+		if j >= 0 {
+			matchedTruth[j] = true
+		} else {
+			unmatchedC++
+		}
+	}
+	unmatchedT := 0
+	for _, ok := range matchedTruth {
+		if !ok {
+			unmatchedT++
+		}
+	}
+	// With a hard 0/1 matching the row/column sums are 0 or 1, so each
+	// unmatched node contributes (1−0)² = 1.
+	y := float64(unmatchedC + unmatchedT)
+	return x + alpha*y
+}
+
+// MinLoss returns the smallest Loss of c against any of the ground-truth
+// chains — the paper's "there may be several API chains that are equivalent"
+// property — plus the index of the closest truth. An empty truth set yields
+// (+Inf, -1).
+func MinLoss(c Chain, truths []Chain, alpha float64) (float64, int) {
+	best, bestIdx := math.Inf(1), -1
+	for i, t := range truths {
+		if l := Loss(c, t, alpha); l < best {
+			best, bestIdx = l, i
+		}
+	}
+	return best, bestIdx
+}
+
+// hungarian solves the square assignment problem, returning for each row the
+// assigned column. This is the O(n³) potential-based formulation.
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j (1-based)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0, delta, j1 := p[j0], inf, 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}

@@ -1,0 +1,404 @@
+// Package core is ChatGraph itself: the session orchestrator that turns a
+// natural-language prompt (plus an optional uploaded graph) into an executed
+// API chain and a chat answer. One Ask call walks the full pipeline of the
+// paper's Fig. 1:
+//
+//	prompt ──► API retrieval (embed + τ-MG ANN) ──► graph-aware prompt
+//	       (graph sequentializer paths + motif super-graph) ──► LLM chain
+//	       generation (finetuned transition model or HTTP LLM) ──► user
+//	       confirmation ──► chain execution with progress monitoring.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/chain"
+	"chatgraph/internal/config"
+	"chatgraph/internal/executor"
+	"chatgraph/internal/finetune"
+	"chatgraph/internal/graph"
+	"chatgraph/internal/llm"
+	"chatgraph/internal/retrieve"
+)
+
+// Config assembles a Session. Zero-value fields get working defaults.
+type Config struct {
+	// Registry is the API catalog (nil → apis.Default with a fresh Env).
+	Registry *apis.Registry
+	// Env is the shared substrate environment; must be the one Registry
+	// was built around when both are set.
+	Env *apis.Env
+	// Model is the finetuned chain-generation model (nil → trained on a
+	// generated dataset with TrainSeed).
+	Model *finetune.Model
+	// Client generates chains (nil → llm.SimClient over Model).
+	Client llm.Client
+	// RetrievalK is how many candidate APIs retrieval supplies (0 → 6).
+	RetrievalK int
+	// Retrieve tunes the retrieval index (zero value → package defaults).
+	Retrieve retrieve.Config
+	// Prompt tunes prompt construction.
+	Prompt llm.PromptConfig
+	// TrainSeed seeds the default model's training (used when Model nil).
+	TrainSeed int64
+	// TrainExamples sizes the default model's dataset (0 → 400).
+	TrainExamples int
+	// Train tunes the default model's finetuning (zero value → Epochs 2,
+	// Rollouts 4).
+	Train finetune.TrainConfig
+}
+
+// Turn records one completed question/answer exchange.
+type Turn struct {
+	Question string
+	// Kind is the predicted graph kind the routing used.
+	Kind graph.Kind
+	// Candidates are the retrieved API names offered to the LLM.
+	Candidates []string
+	// Chain is the chain that was executed (post-confirmation).
+	Chain chain.Chain
+	// Answer is the final chat answer.
+	Answer string
+	// Events is the execution progress log.
+	Events []executor.Event
+	// Elapsed covers generation plus execution.
+	Elapsed time.Duration
+}
+
+// AskOptions customizes one Ask call.
+type AskOptions struct {
+	// Confirm reviews/edits the generated chain (nil auto-approves).
+	Confirm executor.Confirmer
+	// OnEvent observes execution progress live.
+	OnEvent func(executor.Event)
+}
+
+// Session is a ChatGraph conversation. It is not safe for concurrent Ask
+// calls (each chat session is single-user, as in the demo UI); create one
+// Session per conversation.
+type Session struct {
+	registry *apis.Registry
+	env      *apis.Env
+	model    *finetune.Model
+	client   llm.Client
+	index    *retrieve.Index
+	exec     *executor.Executor
+	cfg      Config
+	history  []Turn
+	// fileConfig is set when the session was built from a config file.
+	fileConfig *config.Config
+}
+
+// NewSession wires a Session from cfg.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Env == nil {
+		cfg.Env = &apis.Env{}
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = apis.Default(cfg.Env)
+	}
+	if cfg.RetrievalK <= 0 {
+		cfg.RetrievalK = 6
+	}
+	if cfg.Model == nil {
+		n := cfg.TrainExamples
+		if n <= 0 {
+			n = 400
+		}
+		tc := cfg.Train
+		if tc.Epochs == 0 {
+			tc.Epochs = 2
+		}
+		if tc.Search.Rollouts == 0 {
+			tc.Search.Rollouts = 4
+		}
+		if tc.Seed == 0 {
+			tc.Seed = cfg.TrainSeed
+		}
+		rng := rand.New(rand.NewSource(cfg.TrainSeed))
+		ds := finetune.GenerateDataset(n, rng)
+		cfg.Model = finetune.Train(cfg.Registry.Names(), ds, tc)
+	}
+	if cfg.Client == nil {
+		maxLen := cfg.Prompt.MaxChainLength
+		if maxLen <= 0 {
+			maxLen = 8
+		}
+		cfg.Client = llm.NewSimClient(cfg.Model, maxLen)
+	}
+	ix, err := retrieve.New(cfg.Registry, cfg.Retrieve)
+	if err != nil {
+		return nil, fmt.Errorf("core: build retrieval index: %w", err)
+	}
+	return &Session{
+		registry: cfg.Registry,
+		env:      cfg.Env,
+		model:    cfg.Model,
+		client:   cfg.Client,
+		index:    ix,
+		exec:     executor.New(cfg.Registry, cfg.Env),
+		cfg:      cfg,
+	}, nil
+}
+
+// Registry exposes the session's API catalog.
+func (s *Session) Registry() *apis.Registry { return s.registry }
+
+// Env exposes the shared substrate environment.
+func (s *Session) Env() *apis.Env { return s.env }
+
+// History returns the completed turns in order.
+func (s *Session) History() []Turn { return s.history }
+
+// alwaysCandidates are appended to every retrieval result: the glue APIs
+// (classification, reporting, edit application) that chains need regardless
+// of what the question's topic retrieves.
+var alwaysCandidates = []string{"graph.classify", "graph.stats", "report.compose", "graph.apply_edits"}
+
+// Ask runs the full ChatGraph pipeline for one prompt.
+func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts AskOptions) (Turn, error) {
+	start := time.Now()
+	turn := Turn{Question: question}
+	if strings.TrimSpace(question) == "" {
+		return turn, fmt.Errorf("core: empty question")
+	}
+	if g == nil {
+		g = graph.New()
+	}
+	turn.Kind = graph.Classify(g)
+
+	// 1. API retrieval.
+	turn.Candidates = s.retrieveCandidates(question)
+
+	// 2. Graph-aware prompt + chain generation.
+	msgs := llm.BuildPrompt(question, g, turn.Kind, turn.Candidates, s.index.Descriptions(), s.cfg.Prompt)
+	text, err := s.client.Complete(ctx, msgs)
+	if err != nil {
+		return turn, fmt.Errorf("core: chain generation: %w", err)
+	}
+	generated, err := chain.Parse(strings.TrimSpace(text))
+	if err != nil {
+		return turn, fmt.Errorf("core: LLM produced unparseable chain %q: %w", text, err)
+	}
+	if len(generated) == 0 {
+		return turn, fmt.Errorf("core: LLM produced an empty chain")
+	}
+	generated = repairChain(generated)
+	s.fillArgs(generated, question)
+
+	// 3. Confirmation + execution with monitoring.
+	res, err := s.exec.Run(ctx, g, generated, executor.Options{
+		Confirm: opts.Confirm,
+		OnEvent: func(e executor.Event) {
+			turn.Events = append(turn.Events, e)
+			if opts.OnEvent != nil {
+				opts.OnEvent(e)
+			}
+		},
+	})
+	if err != nil {
+		return turn, err
+	}
+	turn.Chain = res.Executed
+	turn.Answer = res.Final.Text
+	turn.Elapsed = time.Since(start)
+	s.history = append(s.history, turn)
+	return turn, nil
+}
+
+// AskWithChain skips generation and runs a user-supplied chain — the path
+// the monitoring scenario uses after the user edits a chain by hand.
+func (s *Session) AskWithChain(ctx context.Context, question string, g *graph.Graph, c chain.Chain, opts AskOptions) (Turn, error) {
+	start := time.Now()
+	turn := Turn{Question: question, Chain: c}
+	if g == nil {
+		g = graph.New()
+	}
+	turn.Kind = graph.Classify(g)
+	res, err := s.exec.Run(ctx, g, c, executor.Options{
+		Confirm: opts.Confirm,
+		OnEvent: func(e executor.Event) {
+			turn.Events = append(turn.Events, e)
+			if opts.OnEvent != nil {
+				opts.OnEvent(e)
+			}
+		},
+	})
+	if err != nil {
+		return turn, err
+	}
+	turn.Chain = res.Executed
+	turn.Answer = res.Final.Text
+	turn.Elapsed = time.Since(start)
+	s.history = append(s.history, turn)
+	return turn, nil
+}
+
+// retrieveCandidates merges the top-k retrieval hits with the always-on glue
+// APIs, deduplicated, preserving relevance order.
+func (s *Session) retrieveCandidates(question string) []string {
+	hits := s.index.Names(question, s.cfg.RetrievalK)
+	seen := make(map[string]bool, len(hits)+len(alwaysCandidates))
+	out := make([]string, 0, len(hits)+len(alwaysCandidates))
+	for _, h := range hits {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	for _, a := range alwaysCandidates {
+		if _, ok := s.registry.Get(a); ok && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// fillArgs patches required arguments the argless generated chain needs,
+// extracting them from the question: node IDs for path/edit APIs, an
+// explicit top-k for similarity search.
+func (s *Session) fillArgs(c chain.Chain, question string) {
+	nums := extractInts(question)
+	for i := range c {
+		a, ok := s.registry.Get(c[i].API)
+		if !ok {
+			continue
+		}
+		needed := []string{}
+		for _, p := range a.Params {
+			if p.Required {
+				if _, has := c[i].Args[p.Name]; !has {
+					needed = append(needed, p.Name)
+				}
+			}
+		}
+		if len(needed) == 0 {
+			continue
+		}
+		if c[i].Args == nil {
+			c[i].Args = make(map[string]string, len(needed))
+		}
+		for _, name := range needed {
+			switch name {
+			case "from", "node", "id":
+				if len(nums) > 0 {
+					c[i].Args[name] = strconv.Itoa(nums[0])
+				}
+			case "to":
+				if len(nums) > 1 {
+					c[i].Args[name] = strconv.Itoa(nums[1])
+				} else if len(nums) > 0 {
+					c[i].Args[name] = strconv.Itoa(nums[0])
+				}
+			case "label", "name":
+				c[i].Args[name] = "updated"
+			}
+		}
+	}
+}
+
+// repairChain fixes structural defects in generated chains that validation
+// alone cannot catch: graph.apply_edits consumes the issue list of a
+// detection API, so a detection step is inserted when the model omitted it
+// (and apply_edits is dropped entirely if it comes first for no reason).
+func repairChain(c chain.Chain) chain.Chain {
+	out := make(chain.Chain, 0, len(c)+1)
+	haveDetect := false
+	for _, s := range c {
+		if strings.HasPrefix(s.API, "kg.detect") {
+			haveDetect = true
+		}
+		if s.API == "graph.apply_edits" && (!haveDetect || len(out) == 0 || !strings.HasPrefix(out[len(out)-1].API, "kg.detect")) {
+			out = append(out, chain.Step{API: "kg.detect_all"})
+			haveDetect = true
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// extractInts returns the non-negative integers appearing in text, in order.
+func extractInts(text string) []int {
+	var out []int
+	cur := -1
+	for _, r := range text {
+		if r >= '0' && r <= '9' {
+			if cur < 0 {
+				cur = 0
+			}
+			cur = cur*10 + int(r-'0')
+			continue
+		}
+		if cur >= 0 {
+			out = append(out, cur)
+			cur = -1
+		}
+	}
+	if cur >= 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// SuggestedQuestions returns the prompt suggestions the demo UI shows in
+// panel 2, specialized to the uploaded graph's kind.
+func SuggestedQuestions(kind graph.Kind) []string {
+	switch kind {
+	case graph.KindMolecule:
+		return []string{
+			"Write a brief report for this molecule",
+			"Is this molecule toxic?",
+			"What molecules are similar to G?",
+			"Predict the solubility of the compound",
+		}
+	case graph.KindKnowledge:
+		return []string{
+			"Clean G",
+			"What edges are missing from the knowledge graph?",
+			"Detect the incorrect edges",
+		}
+	case graph.KindSocial:
+		return []string{
+			"Write a brief report for G",
+			"What communities are in this network?",
+			"Who are the most influential nodes?",
+			"Is the network connected?",
+		}
+	default:
+		return []string{
+			"Write a brief report for G",
+			"Summarize the statistics of the graph",
+		}
+	}
+}
+
+// SeedMoleculeDB fills the environment's molecule database with n random
+// molecules so similarity search has something to compare against — the
+// stand-in for the paper's real molecule collection.
+func SeedMoleculeDB(env *apis.Env, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		size := 8 + rng.Intn(20)
+		env.MolDB.Add(fmt.Sprintf("mol_%03d", i), graph.Molecule(size, rng))
+	}
+}
+
+// parseKindName inverts graph.Kind.String for transcript round trips.
+func parseKindName(s string) graph.Kind {
+	switch s {
+	case "social":
+		return graph.KindSocial
+	case "molecule":
+		return graph.KindMolecule
+	case "knowledge":
+		return graph.KindKnowledge
+	default:
+		return graph.KindUnknown
+	}
+}

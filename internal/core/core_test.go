@@ -1,0 +1,449 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/chain"
+	"chatgraph/internal/config"
+	"chatgraph/internal/executor"
+	"chatgraph/internal/graph"
+	"chatgraph/internal/llm"
+)
+
+// sharedSession is expensive to build (model training), so tests share one.
+var (
+	sessOnce sync.Once
+	sess     *Session
+	sessErr  error
+)
+
+func session(t *testing.T) *Session {
+	t.Helper()
+	sessOnce.Do(func() {
+		env := &apis.Env{}
+		reg := apis.Default(env)
+		SeedMoleculeDB(env, 50, rand.New(rand.NewSource(9)))
+		sess, sessErr = NewSession(Config{Registry: reg, Env: env, TrainSeed: 1, TrainExamples: 300})
+	})
+	if sessErr != nil {
+		t.Fatal(sessErr)
+	}
+	return sess
+}
+
+func TestScenarioUnderstandingSocial(t *testing.T) {
+	s := session(t)
+	rng := rand.New(rand.NewSource(2))
+	g := graph.PlantedCommunities(3, 12, 0.5, 0.02, rng)
+	turn, err := s.Ask(context.Background(), "Write a brief report for G", g, AskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if turn.Kind != graph.KindSocial {
+		t.Fatalf("kind = %s", turn.Kind)
+	}
+	if !strings.Contains(turn.Answer, "Report for") {
+		t.Fatalf("answer missing report:\n%s", turn.Answer)
+	}
+	if len(turn.Chain) < 2 {
+		t.Fatalf("chain too short: %s", turn.Chain)
+	}
+	if turn.Chain[len(turn.Chain)-1].API != "report.compose" {
+		t.Fatalf("report chain should end with report.compose: %s", turn.Chain)
+	}
+}
+
+func TestScenarioUnderstandingMolecule(t *testing.T) {
+	s := session(t)
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Molecule(18, rng)
+	turn, err := s.Ask(context.Background(), "Write a brief report for this molecule", g, AskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if turn.Kind != graph.KindMolecule {
+		t.Fatalf("kind = %s", turn.Kind)
+	}
+	usedMoleculeAPI := false
+	for _, st := range turn.Chain {
+		if strings.HasPrefix(st.API, "molecule.") {
+			usedMoleculeAPI = true
+		}
+	}
+	if !usedMoleculeAPI {
+		t.Fatalf("molecule report chain used no molecule API: %s", turn.Chain)
+	}
+}
+
+func TestScenarioComparison(t *testing.T) {
+	s := session(t)
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Molecule(14, rng)
+	turn, err := s.Ask(context.Background(), "What molecules are similar to G", g, AskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range turn.Chain {
+		if st.API == "similarity.search" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("comparison chain lacks similarity.search: %s", turn.Chain)
+	}
+	if !strings.Contains(turn.Answer, "similar molecules") {
+		t.Fatalf("answer = %s", turn.Answer)
+	}
+}
+
+func TestScenarioCleaning(t *testing.T) {
+	s := session(t)
+	rng := rand.New(rand.NewSource(5))
+	g := graph.KnowledgeGraph(30, 60, rng)
+	g.AddEdgeLabeled(0, 1, "bogus_rel", 1) //nolint:errcheck
+	before := g.NumEdges()
+	turn, err := s.Ask(context.Background(), "Clean G", g, AskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if turn.Kind != graph.KindKnowledge {
+		t.Fatalf("kind = %s", turn.Kind)
+	}
+	hasDetect, hasApply := false, false
+	for _, st := range turn.Chain {
+		if strings.HasPrefix(st.API, "kg.detect") {
+			hasDetect = true
+		}
+		if st.API == "graph.apply_edits" {
+			hasApply = true
+		}
+	}
+	if !hasDetect || !hasApply {
+		t.Fatalf("cleaning chain = %s", turn.Chain)
+	}
+	if g.NumEdges() == before {
+		t.Log("warning: cleaning applied no net edge change (may add missing edges too)")
+	}
+}
+
+func TestScenarioMonitoringEventsAndConfirmation(t *testing.T) {
+	s := session(t)
+	rng := rand.New(rand.NewSource(6))
+	g := graph.PlantedCommunities(2, 10, 0.5, 0.05, rng)
+	var confirmed chain.Chain
+	var events []executor.Event
+	turn, err := s.Ask(context.Background(), "Write a brief report for G", g, AskOptions{
+		Confirm: func(c chain.Chain) (chain.Chain, bool) {
+			confirmed = c.Clone()
+			return nil, true
+		},
+		OnEvent: func(e executor.Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confirmed == nil {
+		t.Fatal("confirmer never called")
+	}
+	if len(events) < 4 {
+		t.Fatalf("only %d events", len(events))
+	}
+	if events[0].Type != executor.EventChainStart || events[len(events)-1].Type != executor.EventChainDone {
+		t.Fatalf("event bracket wrong: %v ... %v", events[0].Type, events[len(events)-1].Type)
+	}
+	if len(turn.Events) != len(events) {
+		t.Fatal("turn events differ from observed events")
+	}
+}
+
+func TestAskRejectedChain(t *testing.T) {
+	s := session(t)
+	g := graph.New()
+	g.AddNode("a")
+	_, err := s.Ask(context.Background(), "Write a brief report for G", g, AskOptions{
+		Confirm: func(chain.Chain) (chain.Chain, bool) { return nil, false },
+	})
+	if !errors.Is(err, executor.ErrRejected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAskEmptyQuestion(t *testing.T) {
+	s := session(t)
+	if _, err := s.Ask(context.Background(), "  ", nil, AskOptions{}); err == nil {
+		t.Fatal("empty question accepted")
+	}
+}
+
+func TestAskNilGraph(t *testing.T) {
+	s := session(t)
+	turn, err := s.Ask(context.Background(), "Summarize the statistics of the graph", nil, AskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if turn.Answer == "" {
+		t.Fatal("empty answer")
+	}
+}
+
+func TestAskWithChain(t *testing.T) {
+	s := session(t)
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Molecule(10, rng)
+	c := chain.Chain{chain.NewStep("molecule.toxicity")}
+	turn, err := s.AskWithChain(context.Background(), "run my chain", g, c, AskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(turn.Answer, "toxicity") {
+		t.Fatalf("answer = %s", turn.Answer)
+	}
+}
+
+func TestHistoryAccumulates(t *testing.T) {
+	env := &apis.Env{}
+	reg := apis.Default(env)
+	s, err := NewSession(Config{Registry: reg, Env: env, TrainSeed: 2, TrainExamples: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	g.AddNode("a")
+	for i := 0; i < 2; i++ {
+		if _, err := s.Ask(context.Background(), "Summarize the statistics of the graph", g, AskOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.History()) != 2 {
+		t.Fatalf("history = %d", len(s.History()))
+	}
+}
+
+func TestFillArgsFromQuestion(t *testing.T) {
+	s := session(t)
+	c := chain.Chain{chain.NewStep("path.shortest")}
+	s.fillArgs(c, "what is the shortest path from node 3 to node 7")
+	if c[0].Args["from"] != "3" || c[0].Args["to"] != "7" {
+		t.Fatalf("args = %v", c[0].Args)
+	}
+}
+
+func TestPathQuestionEndToEnd(t *testing.T) {
+	s := session(t)
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		g.AddNode("v")
+	}
+	for i := 0; i+1 < 6; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1)) //nolint:errcheck
+	}
+	c := chain.Chain{chain.NewStep("path.shortest")}
+	s.fillArgs(c, "shortest path from 0 to 5")
+	turn, err := s.AskWithChain(context.Background(), "shortest path from 0 to 5", g, c, AskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(turn.Answer, "5 hops") {
+		t.Fatalf("answer = %s", turn.Answer)
+	}
+}
+
+func TestExtractInts(t *testing.T) {
+	got := extractInts("from 12 to 7, then 0")
+	if len(got) != 3 || got[0] != 12 || got[1] != 7 || got[2] != 0 {
+		t.Fatalf("extractInts = %v", got)
+	}
+	if got := extractInts("no numbers"); len(got) != 0 {
+		t.Fatalf("extractInts = %v", got)
+	}
+	if got := extractInts("ends with 42"); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("extractInts = %v", got)
+	}
+}
+
+func TestSuggestedQuestionsPerKind(t *testing.T) {
+	for _, k := range []graph.Kind{graph.KindSocial, graph.KindMolecule, graph.KindKnowledge, graph.KindUnknown} {
+		qs := SuggestedQuestions(k)
+		if len(qs) < 2 {
+			t.Fatalf("kind %s has %d suggestions", k, len(qs))
+		}
+	}
+}
+
+func TestRetrieveCandidatesIncludeGlue(t *testing.T) {
+	s := session(t)
+	cands := s.retrieveCandidates("detect communities")
+	hasClassify := false
+	for _, c := range cands {
+		if c == "graph.classify" {
+			hasClassify = true
+		}
+	}
+	if !hasClassify {
+		t.Fatalf("glue API missing from %v", cands)
+	}
+}
+
+// failingClient always errors, to exercise the generation error path.
+type failingClient struct{}
+
+func (failingClient) Complete(context.Context, []llm.Message) (string, error) {
+	return "", errors.New("model unavailable")
+}
+
+func TestAskClientError(t *testing.T) {
+	env := &apis.Env{}
+	reg := apis.Default(env)
+	s, err := NewSession(Config{Registry: reg, Env: env, Client: failingClient{}, TrainSeed: 3, TrainExamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ask(context.Background(), "anything", nil, AskOptions{}); err == nil || !strings.Contains(err.Error(), "model unavailable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// gibberishClient returns unparseable text.
+type gibberishClient struct{}
+
+func (gibberishClient) Complete(context.Context, []llm.Message) (string, error) {
+	return "I think you should (maybe) run something", nil
+}
+
+func TestAskUnparseableChain(t *testing.T) {
+	env := &apis.Env{}
+	reg := apis.Default(env)
+	s, err := NewSession(Config{Registry: reg, Env: env, Client: gibberishClient{}, TrainSeed: 4, TrainExamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ask(context.Background(), "anything", nil, AskOptions{}); err == nil || !strings.Contains(err.Error(), "unparseable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewSessionFromConfig(t *testing.T) {
+	fc := config.Default()
+	fc.Finetune.Examples = 60
+	fc.Finetune.Epochs = 1
+	fc.ANN.TopK = 4
+	s, err := NewSessionFromConfig(fc, nil, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FileConfig() == nil || s.FileConfig().ANN.TopK != 4 {
+		t.Fatalf("FileConfig = %+v", s.FileConfig())
+	}
+	g := graph.New()
+	g.AddNode("a")
+	if _, err := s.Ask(context.Background(), "Summarize the statistics of the graph", g, AskOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid configs are rejected before any training happens.
+	bad := config.Default()
+	bad.ANN.Dim = 1
+	if _, err := NewSessionFromConfig(bad, nil, nil, 5); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestNewSessionFromConfigHTTPBackend(t *testing.T) {
+	fc := config.Default()
+	fc.Finetune.Examples = 30
+	fc.LLM.Backend = "http"
+	fc.LLM.BaseURL = "http://127.0.0.1:1" // nothing listens; Ask must fail cleanly
+	s, err := NewSessionFromConfig(fc, nil, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ask(context.Background(), "anything", nil, AskOptions{}); err == nil {
+		t.Fatal("unreachable HTTP backend succeeded")
+	}
+}
+
+func TestTranscriptRoundTrip(t *testing.T) {
+	s := session(t)
+	g := graph.New()
+	g.AddNode("a")
+	if _, err := s.Ask(context.Background(), "Summarize the statistics of the graph", g, AskOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	before := len(s.History())
+	path := filepath.Join(t.TempDir(), "transcript.json")
+	if err := s.SaveTranscript(path); err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a fresh session.
+	env := &apis.Env{}
+	s2, err := NewSession(Config{Registry: apis.Default(env), Env: env, TrainSeed: 3, TrainExamples: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.LoadTranscript(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != before || len(s2.History()) != before {
+		t.Fatalf("restored %d turns, want %d", n, before)
+	}
+	got := s2.History()[len(s2.History())-1]
+	want := s.History()[len(s.History())-1]
+	if got.Question != want.Question || got.Answer != want.Answer || !got.Chain.Equal(want.Chain) {
+		t.Fatalf("restored turn differs:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestTranscriptErrors(t *testing.T) {
+	s := session(t)
+	if _, err := s.LoadTranscript(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing transcript loaded")
+	}
+	if _, err := s.ReadTranscript(strings.NewReader("{bad")); err == nil {
+		t.Fatal("malformed transcript loaded")
+	}
+	if _, err := s.ReadTranscript(strings.NewReader(`{"version":9,"turns":[]}`)); err == nil {
+		t.Fatal("future version loaded")
+	}
+	if _, err := s.ReadTranscript(strings.NewReader(`{"version":1,"turns":[{"chain":"a(bad"}]}`)); err == nil {
+		t.Fatal("malformed chain loaded")
+	}
+}
+
+func TestRepairChain(t *testing.T) {
+	// apply_edits with no detection: detection inserted before it.
+	c, _ := chain.Parse("graph.classify -> graph.apply_edits")
+	got := repairChain(c)
+	if got.String() != "graph.classify -> kg.detect_all -> graph.apply_edits" {
+		t.Fatalf("repaired = %s", got)
+	}
+	// Detection directly before apply_edits: untouched.
+	ok, _ := chain.Parse("graph.classify -> kg.detect_incorrect -> graph.apply_edits")
+	if got := repairChain(ok); !got.Equal(ok) {
+		t.Fatalf("valid chain altered: %s", got)
+	}
+	// Detection earlier but not adjacent: re-detect right before apply.
+	gap, _ := chain.Parse("kg.detect_all -> graph.stats -> graph.apply_edits")
+	got = repairChain(gap)
+	if got.String() != "kg.detect_all -> graph.stats -> kg.detect_all -> graph.apply_edits" {
+		t.Fatalf("repaired = %s", got)
+	}
+	// apply_edits first: detection inserted at the front.
+	first, _ := chain.Parse("graph.apply_edits")
+	got = repairChain(first)
+	if got.String() != "kg.detect_all -> graph.apply_edits" {
+		t.Fatalf("repaired = %s", got)
+	}
+	// Chains without apply_edits pass through untouched.
+	plain, _ := chain.Parse("graph.stats -> report.compose")
+	if got := repairChain(plain); !got.Equal(plain) {
+		t.Fatalf("plain chain altered: %s", got)
+	}
+}

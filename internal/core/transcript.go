@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"chatgraph/internal/chain"
+)
+
+// Transcript persistence: the dialog panel of the demo UI survives restarts
+// by serializing the session history. Only the conversational surface is
+// stored (questions, chains, answers, timings) — graphs and models are not
+// part of a transcript.
+
+// transcriptTurn is the wire form of one Turn.
+type transcriptTurn struct {
+	Question  string `json:"question"`
+	Kind      string `json:"kind"`
+	Chain     string `json:"chain"`
+	Answer    string `json:"answer"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+type transcript struct {
+	Version int              `json:"version"`
+	Turns   []transcriptTurn `json:"turns"`
+}
+
+// WriteTranscript serializes the session history as JSON.
+func (s *Session) WriteTranscript(w io.Writer) error {
+	t := transcript{Version: 1}
+	for _, turn := range s.history {
+		t.Turns = append(t.Turns, transcriptTurn{
+			Question:  turn.Question,
+			Kind:      turn.Kind.String(),
+			Chain:     turn.Chain.String(),
+			Answer:    turn.Answer,
+			ElapsedMS: turn.Elapsed.Milliseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("core: encode transcript: %w", err)
+	}
+	return nil
+}
+
+// SaveTranscript writes the history to a file.
+func (s *Session) SaveTranscript(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteTranscript(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTranscript reads a transcript written by SaveTranscript and appends
+// its turns to the session history (chains are re-parsed; malformed entries
+// are rejected). It returns how many turns were restored.
+func (s *Session) LoadTranscript(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return s.ReadTranscript(f)
+}
+
+// ReadTranscript appends the turns in r to the session history.
+func (s *Session) ReadTranscript(r io.Reader) (int, error) {
+	var t transcript
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return 0, fmt.Errorf("core: decode transcript: %w", err)
+	}
+	if t.Version != 1 {
+		return 0, fmt.Errorf("core: unsupported transcript version %d", t.Version)
+	}
+	restored := 0
+	for i, tt := range t.Turns {
+		c, err := chain.Parse(tt.Chain)
+		if err != nil {
+			return restored, fmt.Errorf("core: transcript turn %d: %w", i+1, err)
+		}
+		s.history = append(s.history, Turn{
+			Question: tt.Question,
+			Kind:     parseKindName(tt.Kind),
+			Chain:    c,
+			Answer:   tt.Answer,
+			Elapsed:  time.Duration(tt.ElapsedMS) * time.Millisecond,
+		})
+		restored++
+	}
+	return restored, nil
+}

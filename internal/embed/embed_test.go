@@ -1,0 +1,129 @@
+package embed
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chatgraph/internal/vecmath"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("What are the communities of this graph?")
+	want := []string{"commun", "graph"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTokenizeEmptyAndPunct(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Fatalf("Tokenize(\"\") = %v", got)
+	}
+	if got := Tokenize("!!! ??? a i"); len(got) != 0 {
+		t.Fatalf("Tokenize(punct) = %v", got)
+	}
+}
+
+func TestStemmerMergesVariants(t *testing.T) {
+	pairs := [][2]string{
+		{"communities", "community"},
+		{"clusters", "cluster"},
+		{"computing", "comput"},
+		{"searches", "search"},
+		{"cleaned", "clean"},
+	}
+	for _, p := range pairs {
+		if got := stem(p[0]); got != stem(p[1]) {
+			t.Errorf("stem(%q) = %q, stem(%q) = %q; want equal", p[0], got, p[1], stem(p[1]))
+		}
+	}
+}
+
+func TestEmbedDeterministicUnitNorm(t *testing.T) {
+	e := NewHashing(64)
+	v1 := e.Embed("find similar molecules in the database")
+	v2 := e.Embed("find similar molecules in the database")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+	if n := vecmath.Norm(v1); n < 0.999 || n > 1.001 {
+		t.Fatalf("norm = %v, want 1", n)
+	}
+	if len(v1) != 64 || e.Dim() != 64 {
+		t.Fatalf("dim = %d", len(v1))
+	}
+}
+
+func TestEmbedEmptyText(t *testing.T) {
+	e := NewHashing(32)
+	v := e.Embed("")
+	if vecmath.Norm(v) != 0 {
+		t.Fatal("empty text embedding not zero")
+	}
+}
+
+func TestSimilarTextsCloserThanUnrelated(t *testing.T) {
+	e := NewHashing(256)
+	e.Fit([]string{
+		"detect communities in a social network",
+		"compute the toxicity of a molecule",
+		"find the shortest path between two nodes",
+	})
+	simRelated := Similarity(e, "detect communities in a social network", "find the communities of this network")
+	simUnrelated := Similarity(e, "detect communities in a social network", "compute the toxicity of a molecule")
+	if simRelated <= simUnrelated {
+		t.Fatalf("related %v <= unrelated %v", simRelated, simUnrelated)
+	}
+}
+
+func TestFitChangesWeighting(t *testing.T) {
+	e := NewHashing(128)
+	before := e.idf("commun")
+	e.Fit([]string{"community detection", "community structure", "community analysis", "toxicity"})
+	if e.docCount != 4 {
+		t.Fatalf("docCount = %d", e.docCount)
+	}
+	after := e.idf("commun")
+	rare := e.idf("toxic")
+	if after >= before+1 {
+		t.Fatalf("idf of frequent term should drop toward 1: before %v after %v", before, after)
+	}
+	if rare <= after {
+		t.Fatalf("rare term idf %v should exceed frequent term idf %v", rare, after)
+	}
+}
+
+func TestDefaultDim(t *testing.T) {
+	if NewHashing(0).Dim() != 128 {
+		t.Fatal("default dim not applied")
+	}
+}
+
+// Property: embeddings are always unit norm (or zero) and finite.
+func TestQuickEmbedNorm(t *testing.T) {
+	e := NewHashing(64)
+	f := func(s string) bool {
+		v := e.Embed(s)
+		n := vecmath.Norm(v)
+		return n == 0 || (n > 0.999 && n < 1.001)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEmbed(b *testing.B) {
+	e := NewHashing(128)
+	e.Fit([]string{"detect communities in a social network", "compute toxicity"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Embed("write a brief report for this graph including communities and connectivity")
+	}
+}

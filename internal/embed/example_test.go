@@ -1,0 +1,26 @@
+package embed_test
+
+import (
+	"fmt"
+
+	"chatgraph/internal/embed"
+)
+
+func ExampleHashing() {
+	e := embed.NewHashing(128)
+	e.Fit([]string{
+		"detect communities in a social network",
+		"predict the toxicity of a molecule",
+	})
+	related := embed.Similarity(e, "find the communities of this network", "detect communities in a social network")
+	unrelated := embed.Similarity(e, "find the communities of this network", "predict the toxicity of a molecule")
+	fmt.Println("related query is closer:", related > unrelated)
+	// Output:
+	// related query is closer: true
+}
+
+func ExampleTokenize() {
+	fmt.Println(embed.Tokenize("What are the communities of this graph?"))
+	// Output:
+	// [commun graph]
+}

@@ -1,0 +1,122 @@
+package finetune
+
+import (
+	"sort"
+
+	"chatgraph/internal/chain"
+	"chatgraph/internal/embed"
+	"chatgraph/internal/graph"
+)
+
+// Beam-search decoding: instead of committing to the single best next API at
+// each position (Decode), keep the `width` highest-scoring partial chains
+// and return the best-scoring completed one. Beam decoding trades latency
+// for accuracy on questions where the first token is ambiguous; the
+// BenchmarkDecodingStrategies ablation quantifies the trade.
+
+type beamEntry struct {
+	c     chain.Chain
+	score float64
+	done  bool
+}
+
+// DecodeBeam generates a chain with beam search of the given width
+// (width ≤ 1 falls back to greedy Decode). maxLen ≤ 0 means 8.
+func (m *Model) DecodeBeam(question string, kind graph.Kind, maxLen, width int) chain.Chain {
+	if width <= 1 {
+		return m.Decode(question, kind, maxLen)
+	}
+	if maxLen <= 0 {
+		maxLen = 8
+	}
+	qTokens := embed.Tokenize(question)
+	beams := []beamEntry{{}}
+	for step := 0; step < maxLen; step++ {
+		var next []beamEntry
+		expanded := false
+		for _, b := range beams {
+			if b.done {
+				next = append(next, b)
+				continue
+			}
+			prev := startToken
+			used := make(map[string]bool, len(b.c))
+			for _, s := range b.c {
+				used[s.API] = true
+			}
+			if len(b.c) > 0 {
+				prev = b.c[len(b.c)-1].API
+			}
+			// Ending is one candidate continuation (only for non-empty
+			// chains: every question needs at least one API).
+			if len(b.c) > 0 {
+				next = append(next, beamEntry{c: b.c, score: b.score + m.scoreEnd(prev), done: true})
+			}
+			for _, api := range m.vocab {
+				if used[api] {
+					continue
+				}
+				expanded = true
+				nc := append(b.c.Clone(), chain.Step{API: api})
+				next = append(next, beamEntry{c: nc, score: b.score + m.score(prev, api, qTokens, kind)})
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].score > next[j].score })
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams = next
+		if !expanded {
+			break
+		}
+		allDone := true
+		for _, b := range beams {
+			if !b.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	// Prefer the best finished beam; fall back to the best overall.
+	for _, b := range beams {
+		if b.done && len(b.c) > 0 {
+			return b.c
+		}
+	}
+	for _, b := range beams {
+		if len(b.c) > 0 {
+			return b.c
+		}
+	}
+	return nil
+}
+
+// EvaluateBeam mirrors Evaluate using beam decoding with the given width.
+func EvaluateBeam(m *Model, test []Example, alpha float64, width int) EvalResult {
+	res := EvalResult{Examples: len(test)}
+	if len(test) == 0 {
+		return res
+	}
+	for _, ex := range test {
+		pred := m.DecodeBeam(ex.Question, ex.Kind, 8, width)
+		loss, idx := chain.MinLoss(pred, ex.Truths, alpha)
+		res.MeanLoss += loss
+		if idx >= 0 {
+			res.MeanGED += chain.EditDistance(pred, ex.Truths[idx])
+		}
+		for _, truth := range ex.Truths {
+			if sameAPIs(pred, truth) {
+				res.ExactMatch++
+				break
+			}
+		}
+	}
+	n := float64(len(test))
+	res.ExactMatch /= n
+	res.MeanLoss /= n
+	res.MeanGED /= n
+	return res
+}

@@ -1,0 +1,76 @@
+package finetune
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatgraph/internal/chain"
+	"chatgraph/internal/graph"
+)
+
+func TestDecodeBeamWidthOneIsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := GenerateDataset(150, rng)
+	m := Train(vocab(), ds, TrainConfig{Epochs: 1, Search: SearchConfig{Rollouts: 2}, Seed: 2})
+	for _, ex := range GenerateDataset(20, rng) {
+		greedy := m.Decode(ex.Question, ex.Kind, 8)
+		beam1 := m.DecodeBeam(ex.Question, ex.Kind, 8, 1)
+		if !sameAPIs(greedy, beam1) {
+			t.Fatalf("width-1 beam %s != greedy %s", beam1, greedy)
+		}
+	}
+}
+
+func TestDecodeBeamRecoversTrainedChain(t *testing.T) {
+	m := NewModel(vocab())
+	truth := chain.Chain{chain.Step{API: "graph.classify"}, chain.Step{API: "similarity.search"}}
+	for i := 0; i < 5; i++ {
+		m.Observe("what molecules are similar to G", graph.KindMolecule, truth, 1)
+	}
+	got := m.DecodeBeam("what molecules are similar to G", graph.KindMolecule, 8, 4)
+	if !sameAPIs(got, truth) {
+		t.Fatalf("beam decode = %s, want %s", got, truth)
+	}
+}
+
+func TestDecodeBeamNeverRepeatsAPIs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := GenerateDataset(100, rng)
+	m := Train(vocab(), ds, TrainConfig{Epochs: 0, Seed: 4})
+	for _, ex := range GenerateDataset(20, rng) {
+		c := m.DecodeBeam(ex.Question, ex.Kind, 8, 4)
+		seen := make(map[string]bool)
+		for _, s := range c {
+			if seen[s.API] {
+				t.Fatalf("repeated API in %s", c)
+			}
+			seen[s.API] = true
+		}
+		if len(c) == 0 || len(c) > 8 {
+			t.Fatalf("beam chain length %d", len(c))
+		}
+	}
+}
+
+func TestEvaluateBeamAtLeastAsGoodOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := GenerateDataset(400, rng)
+	train, test := SplitDataset(ds, 0.25, rng)
+	m := Train(vocab(), train, TrainConfig{Epochs: 1, Search: SearchConfig{Rollouts: 2}, Seed: 6})
+	greedy := Evaluate(m, test, 0.5)
+	beam := EvaluateBeam(m, test, 0.5, 4)
+	if beam.Examples != greedy.Examples {
+		t.Fatal("example counts differ")
+	}
+	// Beam may tie greedy but should not be dramatically worse.
+	if beam.ExactMatch < greedy.ExactMatch-0.1 {
+		t.Fatalf("beam %.3f much worse than greedy %.3f", beam.ExactMatch, greedy.ExactMatch)
+	}
+}
+
+func TestEvaluateBeamEmpty(t *testing.T) {
+	m := NewModel(vocab())
+	if res := EvaluateBeam(m, nil, 0.5, 4); res.Examples != 0 {
+		t.Fatalf("empty = %+v", res)
+	}
+}

@@ -1,0 +1,199 @@
+package finetune
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/chain"
+	"chatgraph/internal/graph"
+)
+
+func vocab() []string { return apis.Default(nil).Names() }
+
+func TestGenerateDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := GenerateDataset(200, rng)
+	if len(ds) != 200 {
+		t.Fatalf("dataset size = %d", len(ds))
+	}
+	tasks := make(map[string]bool)
+	for _, ex := range ds {
+		if ex.Question == "" || len(ex.Truths) == 0 || ex.Task == "" {
+			t.Fatalf("bad example %+v", ex)
+		}
+		for _, c := range ds[0].Truths {
+			if len(c) == 0 {
+				t.Fatal("empty truth chain")
+			}
+		}
+		tasks[ex.Task] = true
+	}
+	if len(tasks) < 8 {
+		t.Fatalf("only %d distinct tasks in 200 samples", len(tasks))
+	}
+}
+
+func TestDatasetChainsValidAgainstRegistry(t *testing.T) {
+	reg := apis.Default(nil)
+	rng := rand.New(rand.NewSource(2))
+	for _, ex := range GenerateDataset(100, rng) {
+		for _, truth := range ex.Truths {
+			if err := chain.Validate(truth, reg); err != nil {
+				t.Fatalf("task %s truth %s invalid: %v", ex.Task, truth, err)
+			}
+		}
+	}
+}
+
+func TestSplitDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := GenerateDataset(300, rng)
+	train, test := SplitDataset(ds, 0.25, rng)
+	if len(train)+len(test) != 300 {
+		t.Fatalf("split lost examples: %d + %d", len(train), len(test))
+	}
+	if len(test) < 40 || len(test) > 120 {
+		t.Fatalf("test fraction off: %d", len(test))
+	}
+}
+
+func TestTasksNonEmpty(t *testing.T) {
+	if len(Tasks()) < 8 {
+		t.Fatalf("Tasks = %v", Tasks())
+	}
+}
+
+func TestObserveAndDecodeRecoversChain(t *testing.T) {
+	m := NewModel(vocab())
+	truth := chain.Chain{chain.Step{API: "graph.classify"}, chain.Step{API: "similarity.search"}}
+	for i := 0; i < 5; i++ {
+		m.Observe("what molecules are similar to G", graph.KindMolecule, truth, 1)
+	}
+	got := m.Decode("what molecules are similar to G", graph.KindMolecule, 8)
+	if !sameAPIs(got, truth) {
+		t.Fatalf("Decode = %s, want %s", got, truth)
+	}
+}
+
+func TestDecodeEmptyModelStillTerminates(t *testing.T) {
+	m := NewModel(vocab())
+	c := m.Decode("anything", graph.KindUnknown, 8)
+	if len(c) > 8 {
+		t.Fatalf("decode overflow: %d", len(c))
+	}
+}
+
+func TestObserveIgnoresEmptyAndZeroWeight(t *testing.T) {
+	m := NewModel(vocab())
+	m.Observe("q", graph.KindSocial, nil, 1)
+	m.Observe("q", graph.KindSocial, chain.Chain{chain.Step{API: "graph.stats"}}, 0)
+	if len(m.trans) != 0 {
+		t.Fatal("empty/zero-weight observation mutated model")
+	}
+}
+
+func TestTopCandidatesRanked(t *testing.T) {
+	m := NewModel(vocab())
+	truth := chain.Chain{chain.Step{API: "community.detect"}}
+	for i := 0; i < 10; i++ {
+		m.Observe("find communities", graph.KindSocial, truth, 1)
+	}
+	cands := m.TopCandidates(nil, "find communities", graph.KindSocial, 3)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if cands[0] != "community.detect" {
+		t.Fatalf("top candidate = %s", cands[0])
+	}
+}
+
+func TestSearchPredictConvergesToTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := GenerateDataset(300, rng)
+	m := Train(vocab(), ds, TrainConfig{Epochs: 1, Search: SearchConfig{Rollouts: 4}, Seed: 5})
+	truth := []chain.Chain{{chain.Step{API: "graph.classify"}, chain.Step{API: "kg.detect_all"}, chain.Step{API: "graph.apply_edits"}}}
+	pred := SearchPredict(m, "Clean G", graph.KindKnowledge, truth, SearchConfig{Rollouts: 8}, rng)
+	if loss, _ := chain.MinLoss(pred, truth, 0.5); loss > 1 {
+		t.Fatalf("SearchPredict loss = %v for %s", loss, pred)
+	}
+}
+
+func TestRolloutsImprovePrediction(t *testing.T) {
+	// E7's core claim: rollout search scores candidates better than
+	// no-lookahead scoring. Use a weak model so search quality matters.
+	rng := rand.New(rand.NewSource(6))
+	ds := GenerateDataset(60, rng)
+	m := Train(vocab(), ds, TrainConfig{Epochs: 0, Seed: 7})
+	var lossGreedy, lossRollout float64
+	tests := GenerateDataset(40, rng)
+	for _, ex := range tests {
+		pg := SearchPredict(m, ex.Question, ex.Kind, ex.Truths, SearchConfig{Rollouts: 0}, rng)
+		pr := SearchPredict(m, ex.Question, ex.Kind, ex.Truths, SearchConfig{Rollouts: 8}, rng)
+		lg, _ := chain.MinLoss(pg, ex.Truths, 0.5)
+		lr, _ := chain.MinLoss(pr, ex.Truths, 0.5)
+		lossGreedy += lg
+		lossRollout += lr
+	}
+	if lossRollout > lossGreedy+1e-9 {
+		t.Fatalf("rollouts hurt: greedy %.3f vs rollout %.3f", lossGreedy, lossRollout)
+	}
+}
+
+func TestTrainEvaluateEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := GenerateDataset(400, rng)
+	train, test := SplitDataset(ds, 0.25, rng)
+	m := Train(vocab(), train, TrainConfig{Epochs: 2, Search: SearchConfig{Rollouts: 4}, Seed: 9})
+	res := Evaluate(m, test, 0.5)
+	if res.Examples == 0 {
+		t.Fatal("empty test set")
+	}
+	if res.ExactMatch < 0.5 {
+		t.Fatalf("exact match = %.3f, want ≥ 0.5 (loss %.3f, ged %.3f)", res.ExactMatch, res.MeanLoss, res.MeanGED)
+	}
+	if res.MeanGED > 2 {
+		t.Fatalf("mean GED = %.3f", res.MeanGED)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := NewModel(vocab())
+	if res := Evaluate(m, nil, 0.5); res.Examples != 0 || res.ExactMatch != 0 {
+		t.Fatalf("empty Evaluate = %+v", res)
+	}
+}
+
+func TestTrainedBeatsUntrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ds := GenerateDataset(300, rng)
+	train, test := SplitDataset(ds, 0.3, rng)
+	trained := Train(vocab(), train, TrainConfig{Epochs: 1, Search: SearchConfig{Rollouts: 4}, Seed: 11})
+	untrained := NewModel(vocab())
+	rt := Evaluate(trained, test, 0.5)
+	ru := Evaluate(untrained, test, 0.5)
+	if rt.ExactMatch <= ru.ExactMatch {
+		t.Fatalf("training did not help: trained %.3f vs untrained %.3f", rt.ExactMatch, ru.ExactMatch)
+	}
+}
+
+func TestEvaluateByTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ds := GenerateDataset(300, rng)
+	train, test := SplitDataset(ds, 0.3, rng)
+	m := Train(vocab(), train, TrainConfig{Epochs: 1, Search: SearchConfig{Rollouts: 2}, Seed: 21})
+	byTask := EvaluateByTask(m, test, 0.5)
+	if len(byTask) < 5 {
+		t.Fatalf("only %d tasks evaluated", len(byTask))
+	}
+	total := 0
+	for task, res := range byTask {
+		if res.Examples == 0 {
+			t.Fatalf("task %s has no examples", task)
+		}
+		total += res.Examples
+	}
+	if total != len(test) {
+		t.Fatalf("per-task examples %d != test size %d", total, len(test))
+	}
+}

@@ -1,0 +1,203 @@
+package finetune
+
+import (
+	"math"
+	"sort"
+
+	"chatgraph/internal/chain"
+	"chatgraph/internal/embed"
+	"chatgraph/internal/graph"
+)
+
+// startToken and endToken frame every chain in the transition model.
+const (
+	startToken = "<start>"
+	endToken   = "<end>"
+)
+
+// Model is the chain-generation model the finetuning produces: a smoothed
+// bigram transition model over API tokens combined with question-keyword
+// affinities and graph-kind priors. It is the offline stand-in for the
+// finetuned LLM head — small, deterministic, and trained with exactly the
+// signals the paper describes (node-matching loss via rollout search).
+type Model struct {
+	// trans[prev][next] are transition weights (pseudo-counts).
+	trans map[string]map[string]float64
+	// affinity[token][api] links question keywords to APIs.
+	affinity map[string]map[string]float64
+	// kindPrior[kind][api] links graph kinds to APIs.
+	kindPrior map[graph.Kind]map[string]float64
+	// vocab is every API name the model may emit.
+	vocab []string
+}
+
+// NewModel returns an empty model over the given API vocabulary.
+func NewModel(vocab []string) *Model {
+	v := append([]string(nil), vocab...)
+	sort.Strings(v)
+	return &Model{
+		trans:     make(map[string]map[string]float64),
+		affinity:  make(map[string]map[string]float64),
+		kindPrior: make(map[graph.Kind]map[string]float64),
+		vocab:     v,
+	}
+}
+
+// Vocab returns the API vocabulary (sorted).
+func (m *Model) Vocab() []string { return m.vocab }
+
+func bump(m map[string]map[string]float64, a, b string, w float64) {
+	if m[a] == nil {
+		m[a] = make(map[string]float64)
+	}
+	m[a][b] += w
+}
+
+// Observe reinforces the model with one (question, kind, chain) triple at
+// weight w. Training calls this for ground-truth chains (w = 1) and for
+// search-predicted chains scaled by their loss.
+func (m *Model) Observe(question string, kind graph.Kind, c chain.Chain, w float64) {
+	if len(c) == 0 || w <= 0 {
+		return
+	}
+	prev := startToken
+	for _, s := range c {
+		bump(m.trans, prev, s.API, w)
+		prev = s.API
+		for _, tok := range embed.Tokenize(question) {
+			bump(m.affinity, tok, s.API, w)
+		}
+		if m.kindPrior[kind] == nil {
+			m.kindPrior[kind] = make(map[string]float64)
+		}
+		m.kindPrior[kind][s.API] += w
+	}
+	bump(m.trans, prev, endToken, w)
+}
+
+// score returns the model's (log-space) preference for api following prev
+// given the question tokens and graph kind. Laplace smoothing keeps unseen
+// transitions possible.
+func (m *Model) score(prev, api string, qTokens []string, kind graph.Kind) float64 {
+	const eps = 0.1
+	row := m.trans[prev]
+	var rowTotal float64
+	for _, v := range row {
+		rowTotal += v
+	}
+	transP := (row[api] + eps) / (rowTotal + eps*float64(len(m.vocab)+1))
+	var aff float64
+	for _, tok := range qTokens {
+		if am := m.affinity[tok]; am != nil {
+			var tot float64
+			for _, v := range am {
+				tot += v
+			}
+			if tot > 0 {
+				aff += am[api] / tot
+			}
+		}
+	}
+	var prior float64
+	if km := m.kindPrior[kind]; km != nil {
+		var tot float64
+		for _, v := range km {
+			tot += v
+		}
+		if tot > 0 {
+			prior = km[api] / tot
+		}
+	}
+	// The affinity and prior weights must be strong enough that what the
+	// question asks for overrides the raw transition mass of unrelated but
+	// frequent tasks.
+	return math.Log(transP) + 4*aff + 2*prior
+}
+
+// scoreEnd is the score of terminating after prev.
+func (m *Model) scoreEnd(prev string) float64 {
+	const eps = 0.1
+	row := m.trans[prev]
+	var rowTotal float64
+	for _, v := range row {
+		rowTotal += v
+	}
+	return math.Log((row[endToken] + eps) / (rowTotal + eps*float64(len(m.vocab)+1)))
+}
+
+// Decode greedily generates a chain for the question: at each position the
+// highest-scoring next token (API or end) is taken. maxLen caps the length
+// (0 means 8). Steps are emitted without arguments; the session layer fills
+// scenario-specific arguments.
+func (m *Model) Decode(question string, kind graph.Kind, maxLen int) chain.Chain {
+	if maxLen <= 0 {
+		maxLen = 8
+	}
+	qTokens := embed.Tokenize(question)
+	var c chain.Chain
+	used := make(map[string]bool, maxLen)
+	prev := startToken
+	for len(c) < maxLen {
+		bestAPI, bestScore := "", math.Inf(-1)
+		for _, api := range m.vocab {
+			if used[api] {
+				continue // API chains do not revisit an API
+			}
+			if s := m.score(prev, api, qTokens, kind); s > bestScore {
+				bestAPI, bestScore = api, s
+			}
+		}
+		// Terminate when ending beats every continuation (never on an
+		// empty chain — every question needs at least one API).
+		if len(c) > 0 && m.scoreEnd(prev) >= bestScore {
+			break
+		}
+		if bestAPI == "" {
+			break
+		}
+		c = append(c, chain.Step{API: bestAPI})
+		used[bestAPI] = true
+		prev = bestAPI
+	}
+	return c
+}
+
+// TopCandidates returns the k APIs the model ranks highest as successors of
+// the current partial chain — the candidate set S of the paper's
+// search-based prediction.
+func (m *Model) TopCandidates(partial chain.Chain, question string, kind graph.Kind, k int) []string {
+	prev := startToken
+	used := make(map[string]bool, len(partial))
+	for _, s := range partial {
+		used[s.API] = true
+	}
+	if len(partial) > 0 {
+		prev = partial[len(partial)-1].API
+	}
+	qTokens := embed.Tokenize(question)
+	type scored struct {
+		api string
+		s   float64
+	}
+	ss := make([]scored, 0, len(m.vocab))
+	for _, api := range m.vocab {
+		if used[api] {
+			continue // API chains do not revisit an API
+		}
+		ss = append(ss, scored{api, m.score(prev, api, qTokens, kind)})
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].s != ss[j].s {
+			return ss[i].s > ss[j].s
+		}
+		return ss[i].api < ss[j].api
+	})
+	if k > len(ss) {
+		k = len(ss)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = ss[i].api
+	}
+	return out
+}

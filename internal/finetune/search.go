@@ -1,0 +1,240 @@
+package finetune
+
+import (
+	"math"
+	"math/rand"
+
+	"chatgraph/internal/chain"
+	"chatgraph/internal/embed"
+	"chatgraph/internal/graph"
+)
+
+// This file implements the paper's search-based prediction: chain generation
+// iteratively extends a partial chain; in each iteration every candidate API
+// a is scored by r random rollouts that complete Cp+{a} into a full chain,
+// and the smallest node-matching loss against any ground-truth chain scores
+// a (smaller is better). The best-scoring API is appended; generation stops
+// when the end token wins or the length cap is hit.
+
+// SearchConfig tunes the rollout search.
+type SearchConfig struct {
+	// Rollouts is r, the random completions per candidate (0 = greedy
+	// scoring without rollouts, the ablation baseline).
+	Rollouts int
+	// Candidates bounds the candidate set S per iteration (0 → 6).
+	Candidates int
+	// MaxLen caps generated chains (0 → 8).
+	MaxLen int
+	// Alpha weighs the one-to-one regularizer in the loss (0 → 0.5).
+	Alpha float64
+}
+
+func (c *SearchConfig) setDefaults() {
+	if c.Candidates <= 0 {
+		c.Candidates = 6
+	}
+	if c.MaxLen <= 0 {
+		c.MaxLen = 8
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+}
+
+// SearchPredict generates a chain for the question using rollout search
+// against the ground-truth chains, as done during finetuning. With
+// cfg.Rollouts == 0 it degenerates to scoring each candidate by the loss of
+// the partial chain alone (no lookahead) — the ablation baseline.
+func SearchPredict(m *Model, question string, kind graph.Kind, truths []chain.Chain, cfg SearchConfig, rng *rand.Rand) chain.Chain {
+	cfg.setDefaults()
+	var partial chain.Chain
+	for len(partial) < cfg.MaxLen {
+		cands := m.TopCandidates(partial, question, kind, cfg.Candidates)
+		if len(cands) == 0 {
+			break
+		}
+		bestAPI, bestLoss := "", math.Inf(1)
+		for _, api := range cands {
+			extended := append(partial.Clone(), chain.Step{API: api})
+			loss := m.rolloutScore(extended, question, kind, truths, cfg, rng)
+			if loss < bestLoss {
+				bestAPI, bestLoss = api, loss
+			}
+		}
+		// Consider stopping: the loss of the partial chain as-is.
+		stopLoss, _ := chain.MinLoss(partial, truths, cfg.Alpha)
+		if len(partial) > 0 && stopLoss <= bestLoss {
+			break
+		}
+		partial = append(partial, chain.Step{API: bestAPI})
+	}
+	return partial
+}
+
+// rolloutScore estimates how promising the prefix is: the minimum, over r
+// random model-guided completions, of the smallest loss against any ground
+// truth. r == 0 scores the prefix directly.
+func (m *Model) rolloutScore(prefix chain.Chain, question string, kind graph.Kind, truths []chain.Chain, cfg SearchConfig, rng *rand.Rand) float64 {
+	// Two completions are always considered besides the random rollouts:
+	// the trivial one ("stop now") and the model-greedy one. They anchor
+	// the estimate so that a lucky random completion of a bad prefix
+	// cannot beat a good prefix whose rollouts happened to miss.
+	best, _ := chain.MinLoss(prefix, truths, cfg.Alpha)
+	if l, _ := chain.MinLoss(m.greedyComplete(prefix, question, kind, cfg.MaxLen), truths, cfg.Alpha); l < best {
+		best = l
+	}
+	for i := 0; i < cfg.Rollouts; i++ {
+		full := m.randomComplete(prefix, question, kind, cfg.MaxLen, rng)
+		if l, _ := chain.MinLoss(full, truths, cfg.Alpha); l < best {
+			best = l
+		}
+	}
+	return best
+}
+
+// greedyComplete extends prefix with the model's highest-scoring successor
+// until the end token wins or maxLen is hit.
+func (m *Model) greedyComplete(prefix chain.Chain, question string, kind graph.Kind, maxLen int) chain.Chain {
+	c := prefix.Clone()
+	for len(c) < maxLen {
+		cands := m.TopCandidates(c, question, kind, 1)
+		if len(cands) == 0 {
+			break
+		}
+		prev := startToken
+		if len(c) > 0 {
+			prev = c[len(c)-1].API
+		}
+		qTokens := embed.Tokenize(question)
+		if len(c) > 0 && m.scoreEnd(prev) >= m.score(prev, cands[0], qTokens, kind) {
+			break
+		}
+		c = append(c, chain.Step{API: cands[0]})
+	}
+	return c
+}
+
+// randomComplete extends prefix to a full chain by sampling successors from
+// the model's top candidates until the end token is sampled or maxLen hit.
+func (m *Model) randomComplete(prefix chain.Chain, question string, kind graph.Kind, maxLen int, rng *rand.Rand) chain.Chain {
+	c := prefix.Clone()
+	for len(c) < maxLen {
+		// Sample among top-4 candidates plus a stop chance that grows with
+		// length, approximating the model's end-token probability mass.
+		if rng.Float64() < 0.15*float64(len(c)) {
+			break
+		}
+		cands := m.TopCandidates(c, question, kind, 4)
+		if len(cands) == 0 {
+			break
+		}
+		c = append(c, chain.Step{API: cands[rng.Intn(len(cands))]})
+	}
+	return c
+}
+
+// TrainConfig tunes Train.
+type TrainConfig struct {
+	// Epochs of rollout-refinement after count initialization (0 → 2).
+	Epochs int
+	// Search configures the per-example rollout search during refinement.
+	Search SearchConfig
+	// Seed drives the training RNG.
+	Seed int64
+}
+
+// Train fits a Model on examples: transition/affinity counts are initialized
+// from every ground-truth chain, then each refinement epoch runs the
+// search-based prediction on every example and reinforces the predicted
+// chain weighted by exp(−loss) — low-loss predictions (which the rollout
+// search finds more reliably with larger r) sharpen the model, high-loss
+// ones barely move it.
+func Train(vocab []string, examples []Example, cfg TrainConfig) *Model {
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 2
+	}
+	m := NewModel(vocab)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, ex := range examples {
+		for _, truth := range ex.Truths {
+			m.Observe(ex.Question, ex.Kind, truth, 1)
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, ex := range examples {
+			pred := SearchPredict(m, ex.Question, ex.Kind, ex.Truths, cfg.Search, rng)
+			loss, _ := chain.MinLoss(pred, ex.Truths, cfg.Search.Alpha)
+			if math.IsInf(loss, 1) {
+				continue
+			}
+			m.Observe(ex.Question, ex.Kind, pred, math.Exp(-loss))
+		}
+	}
+	return m
+}
+
+// EvalResult aggregates prediction quality over a test set (benchmark E7).
+type EvalResult struct {
+	Examples int
+	// ExactMatch is the fraction whose decoded chain equals some truth
+	// exactly (API sequence).
+	ExactMatch float64
+	// MeanLoss is the average node-matching loss against the closest truth.
+	MeanLoss float64
+	// MeanGED is the average edit distance to the closest truth.
+	MeanGED float64
+}
+
+// Evaluate decodes every test question greedily and scores it against the
+// ground truths.
+func Evaluate(m *Model, test []Example, alpha float64) EvalResult {
+	res := EvalResult{Examples: len(test)}
+	if len(test) == 0 {
+		return res
+	}
+	for _, ex := range test {
+		pred := m.Decode(ex.Question, ex.Kind, 8)
+		loss, idx := chain.MinLoss(pred, ex.Truths, alpha)
+		res.MeanLoss += loss
+		if idx >= 0 {
+			res.MeanGED += chain.EditDistance(pred, ex.Truths[idx])
+		}
+		for _, truth := range ex.Truths {
+			if sameAPIs(pred, truth) {
+				res.ExactMatch++
+				break
+			}
+		}
+	}
+	n := float64(len(test))
+	res.ExactMatch /= n
+	res.MeanLoss /= n
+	res.MeanGED /= n
+	return res
+}
+
+func sameAPIs(a, b chain.Chain) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].API != b[i].API {
+			return false
+		}
+	}
+	return true
+}
+
+// EvaluateByTask returns a per-task EvalResult breakdown, so experiments can
+// see which question families the model handles and which it misses.
+func EvaluateByTask(m *Model, test []Example, alpha float64) map[string]EvalResult {
+	byTask := make(map[string][]Example)
+	for _, ex := range test {
+		byTask[ex.Task] = append(byTask[ex.Task], ex)
+	}
+	out := make(map[string]EvalResult, len(byTask))
+	for task, exs := range byTask {
+		out[task] = Evaluate(m, exs, alpha)
+	}
+	return out
+}

@@ -1,0 +1,384 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Additional whole-graph algorithms backing the extended API catalog:
+// k-core decomposition, maximal cliques, degree assortativity, weighted
+// shortest paths, eccentricity/radius/center, greedy coloring, and minimum
+// spanning trees. All operate on the undirected view unless noted.
+
+// CoreNumbers returns, for every node, the largest k such that the node
+// belongs to the k-core (the maximal subgraph with minimum degree ≥ k),
+// using the Matula–Beck peeling order in O(V + E).
+func CoreNumbers(g *Graph) []int {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	und := make([][]NodeID, n)
+	for _, e := range g.Edges() {
+		und[e.From] = append(und[e.From], e.To)
+		und[e.To] = append(und[e.To], e.From)
+	}
+	maxDeg := 0
+	for i := range deg {
+		deg[i] = len(und[i])
+		if deg[i] > maxDeg {
+			maxDeg = deg[i]
+		}
+	}
+	// Bucket sort nodes by degree.
+	buckets := make([][]NodeID, maxDeg+1)
+	for i, d := range deg {
+		buckets[d] = append(buckets[d], NodeID(i))
+	}
+	core := make([]int, n)
+	removed := make([]bool, n)
+	cur := make([]int, n)
+	copy(cur, deg)
+	for d := 0; d <= maxDeg; d++ {
+		for len(buckets[d]) > 0 {
+			u := buckets[d][len(buckets[d])-1]
+			buckets[d] = buckets[d][:len(buckets[d])-1]
+			if removed[u] || cur[u] != d {
+				continue // stale bucket entry
+			}
+			removed[u] = true
+			core[u] = d
+			for _, v := range und[u] {
+				if removed[v] || cur[v] <= d {
+					continue
+				}
+				cur[v]--
+				buckets[cur[v]] = append(buckets[cur[v]], v)
+				if cur[v] < d {
+					// Can't happen: cur[v] was > d and decremented once.
+					continue
+				}
+			}
+		}
+		// Nodes pushed into lower buckets while peeling are handled when
+		// their bucket index comes up; stale entries are skipped above.
+	}
+	return core
+}
+
+// Degeneracy returns the graph degeneracy: the maximum core number.
+func Degeneracy(g *Graph) int {
+	max := 0
+	for _, c := range CoreNumbers(g) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MaximalCliques enumerates all maximal cliques with Bron–Kerbosch and
+// pivoting, stopping after maxCliques (0 = unlimited). Cliques are returned
+// with sorted members.
+func MaximalCliques(g *Graph, maxCliques int) [][]NodeID {
+	n := g.NumNodes()
+	adj := adjacencySets(g)
+	var out [][]NodeID
+	var bk func(r, p, x []NodeID)
+	bk = func(r, p, x []NodeID) {
+		if maxCliques > 0 && len(out) >= maxCliques {
+			return
+		}
+		if len(p) == 0 && len(x) == 0 {
+			clique := append([]NodeID(nil), r...)
+			sort.Slice(clique, func(i, j int) bool { return clique[i] < clique[j] })
+			out = append(out, clique)
+			return
+		}
+		// Pivot: the vertex of p ∪ x with most neighbors in p.
+		var pivot NodeID = -1
+		best := -1
+		for _, cand := range [][]NodeID{p, x} {
+			for _, u := range cand {
+				cnt := 0
+				for _, v := range p {
+					if adj[u][v] {
+						cnt++
+					}
+				}
+				if cnt > best {
+					best, pivot = cnt, u
+				}
+			}
+		}
+		var frontier []NodeID
+		for _, v := range p {
+			if pivot < 0 || !adj[pivot][v] {
+				frontier = append(frontier, v)
+			}
+		}
+		for _, v := range frontier {
+			var np, nx []NodeID
+			for _, w := range p {
+				if adj[v][w] {
+					np = append(np, w)
+				}
+			}
+			for _, w := range x {
+				if adj[v][w] {
+					nx = append(nx, w)
+				}
+			}
+			bk(append(r, v), np, nx)
+			// Move v from p to x.
+			for i, w := range p {
+				if w == v {
+					p = append(p[:i], p[i+1:]...)
+					break
+				}
+			}
+			x = append(x, v)
+		}
+	}
+	all := make([]NodeID, n)
+	for i := range all {
+		all[i] = NodeID(i)
+	}
+	bk(nil, all, nil)
+	return out
+}
+
+// Assortativity returns the Pearson degree-assortativity coefficient over
+// the edges: positive when high-degree nodes attach to high-degree nodes
+// (typical of collaboration networks), negative for hub-and-spoke
+// topologies. Returns 0 for graphs with fewer than 2 edges.
+func Assortativity(g *Graph) float64 {
+	m := g.NumEdges()
+	if m < 2 {
+		return 0
+	}
+	deg := make([]float64, g.NumNodes())
+	for _, e := range g.Edges() {
+		deg[e.From]++
+		deg[e.To]++
+	}
+	var sumXY, sumX, sumY, sumX2, sumY2 float64
+	count := 0.0
+	for _, e := range g.Edges() {
+		// Each undirected edge contributes both orientations so the
+		// coefficient is symmetric.
+		for _, pair := range [2][2]float64{{deg[e.From], deg[e.To]}, {deg[e.To], deg[e.From]}} {
+			x, y := pair[0], pair[1]
+			sumXY += x * y
+			sumX += x
+			sumY += y
+			sumX2 += x * x
+			sumY2 += y * y
+			count++
+		}
+	}
+	num := sumXY/count - (sumX/count)*(sumY/count)
+	denX := sumX2/count - (sumX/count)*(sumX/count)
+	denY := sumY2/count - (sumY/count)*(sumY/count)
+	den := math.Sqrt(denX * denY)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// dijkstraItem is a priority-queue entry.
+type dijkstraItem struct {
+	node NodeID
+	dist float64
+}
+
+type dijkstraHeap []dijkstraItem
+
+func (h dijkstraHeap) Len() int            { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *dijkstraHeap) Push(x interface{}) { *h = append(*h, x.(dijkstraItem)) }
+func (h *dijkstraHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WeightedShortestPath returns the minimum-weight path from src to dst using
+// edge weights (Dijkstra; weights must be non-negative) and its total
+// weight. A nil path means unreachable.
+func WeightedShortestPath(g *Graph, src, dst NodeID) ([]NodeID, float64) {
+	n := g.NumNodes()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
+		return nil, math.Inf(1)
+	}
+	dist := make([]float64, n)
+	parent := make([]NodeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[src] = 0
+	h := &dijkstraHeap{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkstraItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		for _, ei := range g.adj[it.node] {
+			e := g.edges[ei]
+			v := e.To
+			if e.From != it.node {
+				v = e.From
+			}
+			w := e.Weight
+			if w < 0 {
+				w = 0
+			}
+			if nd := it.dist + w; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = it.node
+				heap.Push(h, dijkstraItem{v, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, math.Inf(1)
+	}
+	var rev []NodeID
+	for cur := dst; cur != -1; cur = parent[cur] {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[dst]
+}
+
+// Eccentricities returns each node's eccentricity (max BFS distance to any
+// reachable node), plus the radius (min eccentricity) and diameter (max) of
+// the largest component. Isolated nodes get eccentricity 0.
+func Eccentricities(g *Graph) (ecc []int, radius, diameter int) {
+	n := g.NumNodes()
+	ecc = make([]int, n)
+	radius = math.MaxInt
+	for u := 0; u < n; u++ {
+		max := 0
+		g.BFS(NodeID(u), func(_ NodeID, d int) bool {
+			if d > max {
+				max = d
+			}
+			return true
+		})
+		ecc[u] = max
+		if max > diameter {
+			diameter = max
+		}
+		if max > 0 && max < radius {
+			radius = max
+		}
+	}
+	if radius == math.MaxInt {
+		radius = 0
+	}
+	return ecc, radius, diameter
+}
+
+// Center returns the nodes with minimum (positive) eccentricity.
+func Center(g *Graph) []NodeID {
+	ecc, radius, _ := Eccentricities(g)
+	var out []NodeID
+	for i, e := range ecc {
+		if e == radius {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// GreedyColoring colors nodes in descending-degree order with the smallest
+// available color, returning per-node colors and the color count. Optimal
+// only for special graphs, but a standard quality/speed tradeoff.
+func GreedyColoring(g *Graph) ([]int, int) {
+	n := g.NumNodes()
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	maxColor := -1
+	for _, u := range order {
+		taken := make(map[int]bool)
+		for _, v := range g.Neighbors(u) {
+			if colors[v] >= 0 {
+				taken[colors[v]] = true
+			}
+		}
+		c := 0
+		for taken[c] {
+			c++
+		}
+		colors[u] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return colors, maxColor + 1
+}
+
+// MinimumSpanningForest returns the edges of a minimum-weight spanning
+// forest (Kruskal) and its total weight.
+func MinimumSpanningForest(g *Graph) ([]Edge, float64) {
+	edges := append([]Edge(nil), g.Edges()...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight < edges[j].Weight
+		}
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	parent := make([]int, g.NumNodes())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var out []Edge
+	var total float64
+	for _, e := range edges {
+		ra, rb := find(int(e.From)), find(int(e.To))
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		out = append(out, e)
+		total += e.Weight
+	}
+	return out, total
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n int) *Graph {
+	b.Helper()
+	return BarabasiAlbert(n, 2, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.BFS(0, func(NodeID, int) bool { return true })
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph(b, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	g := benchGraph(b, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ComputeStats(g)
+	}
+}
+
+func BenchmarkCoreNumbers(b *testing.B) {
+	g := benchGraph(b, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CoreNumbers(g)
+	}
+}
+
+func BenchmarkMaximalCliques(b *testing.B) {
+	g := benchGraph(b, 300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MaximalCliques(g, 0)
+	}
+}
+
+func BenchmarkWeightedShortestPath(b *testing.B) {
+	g := benchGraph(b, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WeightedShortestPath(g, 0, NodeID(g.NumNodes()-1))
+	}
+}
+
+func BenchmarkSubgraphIsomorphism(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	host := Molecule(60, rng)
+	pattern := New()
+	c1 := pattern.AddNode("C")
+	c2 := pattern.AddNode("C")
+	o := pattern.AddNode("O")
+	pattern.AddEdge(c1, c2) //nolint:errcheck
+	pattern.AddEdge(c2, o)  //nolint:errcheck
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FindSubgraphIsomorphisms(pattern, host, IsoOptions{MaxMatches: 16})
+	}
+}
+
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	g := benchGraph(b, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := g.MarshalJSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ParseJSON(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerators(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	b.Run("barabasi_albert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BarabasiAlbert(500, 2, rng)
+		}
+	})
+	b.Run("molecule", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Molecule(40, rng)
+		}
+	})
+	b.Run("knowledge_graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KnowledgeGraph(100, 250, rng)
+		}
+	})
+}

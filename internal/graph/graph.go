@@ -1,0 +1,397 @@
+// Package graph implements the labeled property-graph substrate used across
+// ChatGraph: nodes and edges with string labels and attribute maps, directed
+// or undirected adjacency, traversal, serialization, synthetic generators,
+// and graph statistics.
+//
+// Graphs are the unit of user input in ChatGraph prompts ("here is a graph G,
+// write a report for G") and the unit the analysis APIs in internal/apis
+// operate on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within one graph. IDs are dense non-negative
+// integers assigned by AddNode in insertion order.
+type NodeID int
+
+// Node is a labeled vertex with optional attributes.
+type Node struct {
+	ID    NodeID
+	Label string
+	Attrs map[string]string
+}
+
+// Edge connects From to To. In an undirected graph each edge is stored once
+// but visible from both endpoints' adjacency lists.
+type Edge struct {
+	From  NodeID
+	To    NodeID
+	Label string
+	// Weight defaults to 1 for unweighted graphs.
+	Weight float64
+}
+
+// Graph is a mutable labeled property graph. The zero value is not usable;
+// construct with New or NewDirected.
+type Graph struct {
+	// Name is an optional human-readable identifier ("G", "caffeine", ...).
+	Name     string
+	directed bool
+	nodes    []Node
+	// adj[u] lists indexes into edges for all edges incident to u (for
+	// undirected graphs) or leaving u (for directed graphs).
+	adj   [][]int
+	radj  [][]int // directed only: edges entering u
+	edges []Edge
+}
+
+// New returns an empty undirected graph.
+func New() *Graph { return &Graph{} }
+
+// NewDirected returns an empty directed graph.
+func NewDirected() *Graph { return &Graph{directed: true} }
+
+// Directed reports whether g stores directed edges.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count (each undirected edge counted once).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a node with the given label and returns its ID.
+func (g *Graph) AddNode(label string) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Label: label})
+	g.adj = append(g.adj, nil)
+	if g.directed {
+		g.radj = append(g.radj, nil)
+	}
+	return id
+}
+
+// AddNodeAttrs appends a node with label and a copy of attrs.
+func (g *Graph) AddNodeAttrs(label string, attrs map[string]string) NodeID {
+	id := g.AddNode(label)
+	if len(attrs) > 0 {
+		m := make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			m[k] = v
+		}
+		g.nodes[id].Attrs = m
+	}
+	return id
+}
+
+// Node returns the node with the given ID. It panics on out-of-range IDs.
+func (g *Graph) Node(id NodeID) Node {
+	return g.nodes[id]
+}
+
+// SetNodeLabel relabels node id.
+func (g *Graph) SetNodeLabel(id NodeID, label string) {
+	g.nodes[id].Label = label
+}
+
+// SetNodeAttr sets one attribute on node id.
+func (g *Graph) SetNodeAttr(id NodeID, key, val string) {
+	if g.nodes[id].Attrs == nil {
+		g.nodes[id].Attrs = make(map[string]string)
+	}
+	g.nodes[id].Attrs[key] = val
+}
+
+// Nodes returns the nodes in ID order. The returned slice is shared; callers
+// must not modify it.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Edges returns all edges. The returned slice is shared; callers must not
+// modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// valid reports whether id names an existing node.
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// AddEdge inserts an edge with weight 1 and empty label. It returns an error
+// on dangling endpoints or self-loops (which no ChatGraph workload uses).
+func (g *Graph) AddEdge(from, to NodeID) error {
+	return g.AddEdgeLabeled(from, to, "", 1)
+}
+
+// AddEdgeLabeled inserts a labeled, weighted edge.
+func (g *Graph) AddEdgeLabeled(from, to NodeID, label string, weight float64) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("graph: edge (%d,%d) has endpoint outside [0,%d)", from, to, len(g.nodes))
+	}
+	if from == to {
+		return fmt.Errorf("graph: self-loop on node %d rejected", from)
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: from, To: to, Label: label, Weight: weight})
+	g.adj[from] = append(g.adj[from], idx)
+	if g.directed {
+		g.radj[to] = append(g.radj[to], idx)
+	} else {
+		g.adj[to] = append(g.adj[to], idx)
+	}
+	return nil
+}
+
+// HasEdge reports whether an edge from→to exists (either direction for
+// undirected graphs).
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	if !g.valid(from) || !g.valid(to) {
+		return false
+	}
+	for _, ei := range g.adj[from] {
+		e := g.edges[ei]
+		if e.From == from && e.To == to || !g.directed && e.From == to && e.To == from {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeBetween returns the first edge between from and to and true, or a zero
+// Edge and false when none exists.
+func (g *Graph) EdgeBetween(from, to NodeID) (Edge, bool) {
+	if !g.valid(from) || !g.valid(to) {
+		return Edge{}, false
+	}
+	for _, ei := range g.adj[from] {
+		e := g.edges[ei]
+		if e.From == from && e.To == to || !g.directed && e.From == to && e.To == from {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// RemoveEdge deletes one edge between from and to (the first found,
+// whatever its label) and reports whether an edge was removed. Removal is
+// O(E) because edge indexes are compacted; cleaning workloads remove few
+// edges so this is acceptable.
+func (g *Graph) RemoveEdge(from, to NodeID) bool {
+	return g.removeEdge(from, to, "", false)
+}
+
+// RemoveEdgeLabeled deletes one edge between from and to carrying exactly
+// the given label, leaving differently-labeled parallel edges intact.
+func (g *Graph) RemoveEdgeLabeled(from, to NodeID, label string) bool {
+	return g.removeEdge(from, to, label, true)
+}
+
+func (g *Graph) removeEdge(from, to NodeID, label string, matchLabel bool) bool {
+	target := -1
+	for i, e := range g.edges {
+		if matchLabel && e.Label != label {
+			continue
+		}
+		if e.From == from && e.To == to || !g.directed && e.From == to && e.To == from {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return false
+	}
+	g.edges = append(g.edges[:target], g.edges[target+1:]...)
+	g.rebuildAdj()
+	return true
+}
+
+// rebuildAdj recomputes adjacency lists from the edge slice.
+func (g *Graph) rebuildAdj() {
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	for i := range g.radj {
+		g.radj[i] = g.radj[i][:0]
+	}
+	for idx, e := range g.edges {
+		g.adj[e.From] = append(g.adj[e.From], idx)
+		if g.directed {
+			g.radj[e.To] = append(g.radj[e.To], idx)
+		} else {
+			g.adj[e.To] = append(g.adj[e.To], idx)
+		}
+	}
+}
+
+// Neighbors returns the IDs adjacent to u (out-neighbors for directed
+// graphs), in deterministic ascending order.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	out := make([]NodeID, 0, len(g.adj[u]))
+	for _, ei := range g.adj[u] {
+		e := g.edges[ei]
+		if e.From == u {
+			out = append(out, e.To)
+		} else {
+			out = append(out, e.From)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InNeighbors returns the IDs with an edge into u. For undirected graphs it
+// equals Neighbors.
+func (g *Graph) InNeighbors(u NodeID) []NodeID {
+	if !g.directed {
+		return g.Neighbors(u)
+	}
+	out := make([]NodeID, 0, len(g.radj[u]))
+	for _, ei := range g.radj[u] {
+		out = append(out, g.edges[ei].From)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of incident edges at u (out-degree for directed
+// graphs).
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Name: g.Name, directed: g.directed}
+	c.nodes = make([]Node, len(g.nodes))
+	copy(c.nodes, g.nodes)
+	for i, n := range g.nodes {
+		if n.Attrs != nil {
+			m := make(map[string]string, len(n.Attrs))
+			for k, v := range n.Attrs {
+				m[k] = v
+			}
+			c.nodes[i].Attrs = m
+		}
+	}
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	c.adj = make([][]int, len(g.adj))
+	for i, a := range g.adj {
+		c.adj[i] = append([]int(nil), a...)
+	}
+	if g.directed {
+		c.radj = make([][]int, len(g.radj))
+		for i, a := range g.radj {
+			c.radj[i] = append([]int(nil), a...)
+		}
+	}
+	return c
+}
+
+// BFS visits nodes in breadth-first order from start, calling visit with each
+// node and its hop distance. Traversal stops early if visit returns false.
+func (g *Graph) BFS(start NodeID, visit func(id NodeID, depth int) bool) {
+	if !g.valid(start) {
+		return
+	}
+	seen := make([]bool, len(g.nodes))
+	type qe struct {
+		id NodeID
+		d  int
+	}
+	queue := []qe{{start, 0}}
+	seen[start] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !visit(cur.id, cur.d) {
+			return
+		}
+		for _, nb := range g.Neighbors(cur.id) {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, qe{nb, cur.d + 1})
+			}
+		}
+	}
+}
+
+// KHopSubgraphNodes returns the set of nodes within l hops of u (inclusive of
+// u), in ascending ID order.
+func (g *Graph) KHopSubgraphNodes(u NodeID, l int) []NodeID {
+	var out []NodeID
+	g.BFS(u, func(id NodeID, depth int) bool {
+		if depth > l {
+			return false
+		}
+		out = append(out, id)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConnectedComponents returns, for undirected graphs, the weakly connected
+// components as slices of node IDs (each sorted; components ordered by their
+// smallest member). Directed graphs are treated as undirected here.
+func (g *Graph) ConnectedComponents() [][]NodeID {
+	n := len(g.nodes)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	// Undirected view: collect both directions.
+	und := make([][]NodeID, n)
+	for _, e := range g.edges {
+		und[e.From] = append(und[e.From], e.To)
+		und[e.To] = append(und[e.To], e.From)
+	}
+	var comps [][]NodeID
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(comps)
+		stack := []NodeID{NodeID(s)}
+		comp[s] = id
+		var members []NodeID
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, v := range und[u] {
+				if comp[v] < 0 {
+					comp[v] = id
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// ShortestPathLengths runs an unweighted BFS from src and returns hop counts
+// to every node; unreachable nodes get -1.
+func (g *Graph) ShortestPathLengths(src NodeID) []int {
+	dist := make([]int, len(g.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	g.BFS(src, func(id NodeID, depth int) bool {
+		dist[id] = depth
+		return true
+	})
+	return dist
+}
+
+// String summarizes the graph for logs and chat transcripts.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	name := g.Name
+	if name == "" {
+		name = "G"
+	}
+	return fmt.Sprintf("%s(%s, |V|=%d, |E|=%d)", name, kind, len(g.nodes), len(g.edges))
+}

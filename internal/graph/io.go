@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// jsonGraph is the wire form of a graph. It matches what the chat server and
+// CLI accept as uploaded graphs.
+type jsonGraph struct {
+	Name     string     `json:"name,omitempty"`
+	Directed bool       `json:"directed,omitempty"`
+	Nodes    []jsonNode `json:"nodes"`
+	Edges    []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	ID    int               `json:"id"`
+	Label string            `json:"label,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+type jsonEdge struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Label  string  `json:"label,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// MarshalJSON encodes g in the upload wire format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name, Directed: g.directed}
+	for _, n := range g.nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{ID: int(n.ID), Label: n.Label, Attrs: n.Attrs})
+	}
+	for _, e := range g.edges {
+		w := e.Weight
+		if w == 1 {
+			w = 0 // omit default weight
+		}
+		jg.Edges = append(jg.Edges, jsonEdge{From: int(e.From), To: int(e.To), Label: e.Label, Weight: w})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes the upload wire format. Node IDs in the payload may
+// be sparse; they are remapped to dense IDs preserving payload order.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	fresh := Graph{Name: jg.Name, directed: jg.Directed}
+	*g = fresh
+	remap := make(map[int]NodeID, len(jg.Nodes))
+	for _, n := range jg.Nodes {
+		if _, dup := remap[n.ID]; dup {
+			return fmt.Errorf("graph: duplicate node id %d", n.ID)
+		}
+		remap[n.ID] = g.AddNodeAttrs(n.Label, n.Attrs)
+	}
+	for _, e := range jg.Edges {
+		from, ok := remap[e.From]
+		if !ok {
+			return fmt.Errorf("graph: edge references unknown node %d", e.From)
+		}
+		to, ok := remap[e.To]
+		if !ok {
+			return fmt.Errorf("graph: edge references unknown node %d", e.To)
+		}
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		if err := g.AddEdgeLabeled(from, to, e.Label, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseJSON decodes one graph from JSON bytes.
+func ParseJSON(data []byte) (*Graph, error) {
+	g := New()
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseEdgeList reads a whitespace-separated edge list, one "u v [label]"
+// per line; '#' starts a comment. Node IDs are arbitrary tokens and become
+// labels; dense IDs are assigned in first-appearance order.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	g := New()
+	ids := make(map[string]NodeID)
+	intern := func(tok string) NodeID {
+		if id, ok := ids[tok]; ok {
+			return id
+		}
+		id := g.AddNode(tok)
+		ids[tok] = id
+		return id
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		u, v := intern(fields[0]), intern(fields[1])
+		label := ""
+		weight := 1.0
+		if len(fields) >= 3 {
+			if w, err := strconv.ParseFloat(fields[2], 64); err == nil {
+				weight = w
+			} else {
+				label = fields[2]
+			}
+		}
+		if err := g.AddEdgeLabeled(u, v, label, weight); err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: edge list: %w", err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes g in the edge-list format accepted by ParseEdgeList,
+// using node labels when unique and IDs otherwise.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	names := make([]string, len(g.nodes))
+	seen := make(map[string]bool, len(g.nodes))
+	unique := true
+	for i, n := range g.nodes {
+		names[i] = n.Label
+		if n.Label == "" || seen[n.Label] {
+			unique = false
+		}
+		seen[n.Label] = true
+	}
+	if !unique {
+		for i := range names {
+			names[i] = strconv.Itoa(i)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "%s %s %g\n", names[e.From], names[e.To], e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the structural properties the report-generation APIs talk
+// about: size, density, degree distribution, clustering, components.
+type Stats struct {
+	Nodes             int
+	Edges             int
+	Directed          bool
+	Density           float64
+	MinDegree         int
+	MaxDegree         int
+	MeanDegree        float64
+	DegreeStdDev      float64
+	Components        int
+	LargestComponent  int
+	ClusteringCoeff   float64 // global (transitivity-style average of local)
+	Triangles         int
+	LabelCounts       map[string]int
+	ApproxDiameter    int // double-sweep lower bound on the largest component
+	AssortativityHint string
+}
+
+// ComputeStats derives Stats from g in O(V·d²) time (d = max degree), which
+// is fine for the chat-scale graphs ChatGraph handles.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	s := Stats{Nodes: n, Edges: m, Directed: g.Directed(), LabelCounts: map[string]int{}}
+	if n == 0 {
+		return s
+	}
+	possible := float64(n) * float64(n-1)
+	if !g.Directed() {
+		possible /= 2
+	}
+	if possible > 0 {
+		s.Density = float64(m) / possible
+	}
+	s.MinDegree = math.MaxInt
+	var sum, sumSq float64
+	for _, nd := range g.Nodes() {
+		d := g.Degree(nd.ID)
+		if g.Directed() {
+			d += len(g.InNeighbors(nd.ID))
+		}
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+		s.LabelCounts[nd.Label]++
+	}
+	s.MeanDegree = sum / float64(n)
+	variance := sumSq/float64(n) - s.MeanDegree*s.MeanDegree
+	if variance > 0 {
+		s.DegreeStdDev = math.Sqrt(variance)
+	}
+	comps := g.ConnectedComponents()
+	s.Components = len(comps)
+	for _, c := range comps {
+		if len(c) > s.LargestComponent {
+			s.LargestComponent = len(c)
+		}
+	}
+	s.Triangles, s.ClusteringCoeff = countTriangles(g)
+	s.ApproxDiameter = approxDiameter(g, comps)
+	switch {
+	case s.DegreeStdDev > 2*s.MeanDegree:
+		s.AssortativityHint = "heavy-tailed degree distribution (hub-dominated)"
+	case s.DegreeStdDev < 0.5*s.MeanDegree:
+		s.AssortativityHint = "near-regular degree distribution"
+	default:
+		s.AssortativityHint = "moderate degree heterogeneity"
+	}
+	return s
+}
+
+// countTriangles returns the triangle count and average local clustering
+// coefficient over nodes with degree ≥ 2, treating edges as undirected.
+func countTriangles(g *Graph) (int, float64) {
+	n := g.NumNodes()
+	neigh := make([]map[NodeID]bool, n)
+	for i := 0; i < n; i++ {
+		neigh[i] = make(map[NodeID]bool)
+	}
+	for _, e := range g.Edges() {
+		neigh[e.From][e.To] = true
+		neigh[e.To][e.From] = true
+	}
+	triTotal := 0
+	var ccSum float64
+	ccCount := 0
+	for u := 0; u < n; u++ {
+		nbs := make([]NodeID, 0, len(neigh[u]))
+		for v := range neigh[u] {
+			nbs = append(nbs, v)
+		}
+		d := len(nbs)
+		if d < 2 {
+			continue
+		}
+		closed := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if neigh[nbs[i]][nbs[j]] {
+					closed++
+				}
+			}
+		}
+		triTotal += closed
+		ccSum += float64(closed) / (float64(d) * float64(d-1) / 2)
+		ccCount++
+	}
+	cc := 0.0
+	if ccCount > 0 {
+		cc = ccSum / float64(ccCount)
+	}
+	return triTotal / 3, cc
+}
+
+// approxDiameter runs a double BFS sweep on the largest component: BFS from
+// an arbitrary node finds the farthest node x; BFS from x finds a lower bound
+// on the diameter that is exact on trees and close in practice.
+func approxDiameter(g *Graph, comps [][]NodeID) int {
+	var largest []NodeID
+	for _, c := range comps {
+		if len(c) > len(largest) {
+			largest = c
+		}
+	}
+	if len(largest) == 0 {
+		return 0
+	}
+	far := func(src NodeID) (NodeID, int) {
+		best, bestD := src, 0
+		g.BFS(src, func(id NodeID, d int) bool {
+			if d > bestD {
+				best, bestD = id, d
+			}
+			return true
+		})
+		return best, bestD
+	}
+	x, _ := far(largest[0])
+	_, d := far(x)
+	return d
+}
+
+// Describe renders the stats as the bullet lines report APIs embed in chat
+// answers.
+func (s Stats) Describe() string {
+	var b strings.Builder
+	kind := "undirected"
+	if s.Directed {
+		kind = "directed"
+	}
+	fmt.Fprintf(&b, "- %d nodes, %d edges (%s), density %.4f\n", s.Nodes, s.Edges, kind, s.Density)
+	fmt.Fprintf(&b, "- degree: min %d, mean %.2f (σ %.2f), max %d; %s\n",
+		s.MinDegree, s.MeanDegree, s.DegreeStdDev, s.MaxDegree, s.AssortativityHint)
+	fmt.Fprintf(&b, "- %d connected component(s); largest has %d nodes; approx diameter %d\n",
+		s.Components, s.LargestComponent, s.ApproxDiameter)
+	fmt.Fprintf(&b, "- %d triangles, clustering coefficient %.3f\n", s.Triangles, s.ClusteringCoeff)
+	if len(s.LabelCounts) > 0 && len(s.LabelCounts) <= 12 {
+		keys := make([]string, 0, len(s.LabelCounts))
+		for k := range s.LabelCounts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			name := k
+			if name == "" {
+				name = "(unlabeled)"
+			}
+			parts = append(parts, fmt.Sprintf("%s×%d", name, s.LabelCounts[k]))
+		}
+		fmt.Fprintf(&b, "- node labels: %s\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// Kind is the coarse graph category ChatGraph routes on: social graphs get
+// social APIs, molecules get chemistry APIs, knowledge graphs get cleaning
+// and inference APIs.
+type Kind int
+
+const (
+	KindUnknown Kind = iota
+	KindSocial
+	KindMolecule
+	KindKnowledge
+)
+
+// String returns the lowercase category name.
+func (k Kind) String() string {
+	switch k {
+	case KindSocial:
+		return "social"
+	case KindMolecule:
+		return "molecule"
+	case KindKnowledge:
+		return "knowledge"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify predicts the graph category from cheap structural and label
+// signals. This implements the paper's "ChatGraph first predicts the type of
+// G" step (§IV-1).
+func Classify(g *Graph) Kind {
+	if g.NumNodes() == 0 {
+		return KindUnknown
+	}
+	elementish, typed, relLabeled := 0, 0, 0
+	for _, n := range g.Nodes() {
+		if isElementSymbol(n.Label) || n.Attrs["element"] != "" {
+			elementish++
+		}
+		if t := n.Attrs["type"]; t == "person" || t == "place" || t == "org" {
+			typed++
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Label != "" && e.Label != "bond" {
+			relLabeled++
+		}
+	}
+	n := g.NumNodes()
+	switch {
+	case elementish*2 >= n:
+		return KindMolecule
+	case g.Directed() && (relLabeled*2 >= g.NumEdges() || typed*2 >= n):
+		return KindKnowledge
+	case typed*2 >= n:
+		return KindKnowledge
+	default:
+		return KindSocial
+	}
+}
+
+var elementSymbols = map[string]bool{
+	"H": true, "C": true, "N": true, "O": true, "S": true, "P": true,
+	"F": true, "Cl": true, "Br": true, "I": true, "B": true, "Si": true,
+}
+
+func isElementSymbol(s string) bool { return elementSymbols[s] }

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// View operations: derive new graphs from existing ones. The chain executor
+// composes these with the analysis APIs (e.g. extract a neighborhood, then
+// run community detection on just that piece).
+
+// InducedSubgraph returns the subgraph on the given nodes (deduplicated)
+// with IDs remapped densely in ascending original-ID order, plus the
+// old-ID → new-ID mapping.
+func InducedSubgraph(g *Graph, nodes []NodeID) (*Graph, map[NodeID]NodeID) {
+	keep := make(map[NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		if g.valid(id) {
+			keep[id] = true
+		}
+	}
+	ordered := make([]NodeID, 0, len(keep))
+	for id := range keep {
+		ordered = append(ordered, id)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	sub := &Graph{Name: g.Name + "_sub", directed: g.directed}
+	remap := make(map[NodeID]NodeID, len(ordered))
+	for _, id := range ordered {
+		n := g.Node(id)
+		remap[id] = sub.AddNodeAttrs(n.Label, n.Attrs)
+	}
+	for _, e := range g.Edges() {
+		if keep[e.From] && keep[e.To] {
+			sub.AddEdgeLabeled(remap[e.From], remap[e.To], e.Label, e.Weight) //nolint:errcheck // endpoints valid by construction
+		}
+	}
+	return sub, remap
+}
+
+// NeighborhoodSubgraph returns the induced subgraph within l hops of u.
+func NeighborhoodSubgraph(g *Graph, u NodeID, l int) (*Graph, map[NodeID]NodeID) {
+	return InducedSubgraph(g, g.KHopSubgraphNodes(u, l))
+}
+
+// DegreeSequence returns the sorted (descending) degree sequence.
+func DegreeSequence(g *Graph) []int {
+	out := make([]int, g.NumNodes())
+	for i := range out {
+		out[i] = g.Degree(NodeID(i))
+		if g.directed {
+			out[i] += len(g.InNeighbors(NodeID(i)))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Complement returns the undirected complement graph (same nodes, edges
+// exactly where g has none). Only defined for undirected graphs.
+func Complement(g *Graph) (*Graph, error) {
+	if g.directed {
+		return nil, fmt.Errorf("graph: complement of a directed graph is not supported")
+	}
+	c := New()
+	c.Name = g.Name + "_complement"
+	for _, n := range g.Nodes() {
+		c.AddNodeAttrs(n.Label, n.Attrs)
+	}
+	n := g.NumNodes()
+	adj := adjacencySets(g)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !adj[i][NodeID(j)] {
+				c.AddEdge(NodeID(i), NodeID(j)) //nolint:errcheck
+			}
+		}
+	}
+	return c, nil
+}
+
+// DisjointUnion returns a graph containing copies of a then b with b's IDs
+// shifted by a.NumNodes(). Directedness must match.
+func DisjointUnion(a, b *Graph) (*Graph, error) {
+	if a.directed != b.directed {
+		return nil, fmt.Errorf("graph: cannot union directed with undirected")
+	}
+	u := &Graph{Name: a.Name + "+" + b.Name, directed: a.directed}
+	for _, n := range a.Nodes() {
+		u.AddNodeAttrs(n.Label, n.Attrs)
+	}
+	offset := NodeID(a.NumNodes())
+	for _, n := range b.Nodes() {
+		u.AddNodeAttrs(n.Label, n.Attrs)
+	}
+	for _, e := range a.Edges() {
+		u.AddEdgeLabeled(e.From, e.To, e.Label, e.Weight) //nolint:errcheck
+	}
+	for _, e := range b.Edges() {
+		u.AddEdgeLabeled(e.From+offset, e.To+offset, e.Label, e.Weight) //nolint:errcheck
+	}
+	return u, nil
+}
+
+// EdgeDifference returns the edges of a that have no counterpart (same
+// endpoints and label, orientation-insensitive for undirected graphs) in b.
+// Node sets are assumed aligned by ID; extra nodes in either graph are fine.
+func EdgeDifference(a, b *Graph) []Edge {
+	key := func(g *Graph, e Edge) string {
+		f, t := e.From, e.To
+		if !g.directed && f > t {
+			f, t = t, f
+		}
+		return fmt.Sprintf("%d|%s|%d", f, e.Label, t)
+	}
+	inB := make(map[string]bool, b.NumEdges())
+	for _, e := range b.Edges() {
+		inB[key(b, e)] = true
+	}
+	var out []Edge
+	for _, e := range a.Edges() {
+		if !inB[key(a, e)] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddNodeAttrs("v", map[string]string{"i": "x"})
+	}
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1)) //nolint:errcheck
+	}
+	sub, remap := InducedSubgraph(g, []NodeID{1, 2, 3, 3, 99}) // dup + invalid ignored
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("sub = %s", sub)
+	}
+	if remap[1] != 0 || remap[2] != 1 || remap[3] != 2 {
+		t.Fatalf("remap = %v", remap)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Fatal("edges lost in induced subgraph")
+	}
+	if sub.Node(0).Attrs["i"] != "x" {
+		t.Fatal("attrs lost")
+	}
+}
+
+func TestNeighborhoodSubgraph(t *testing.T) {
+	g := New()
+	for i := 0; i < 6; i++ {
+		g.AddNode("v")
+	}
+	for i := 0; i+1 < 6; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1)) //nolint:errcheck
+	}
+	sub, _ := NeighborhoodSubgraph(g, 2, 1)
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("neighborhood = %s", sub)
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	g := New()
+	hub := g.AddNode("h")
+	for i := 0; i < 3; i++ {
+		g.AddEdge(hub, g.AddNode("l")) //nolint:errcheck
+	}
+	seq := DegreeSequence(g)
+	if seq[0] != 3 || seq[1] != 1 || seq[3] != 1 {
+		t.Fatalf("degree sequence = %v", seq)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := New()
+	for i := 0; i < 4; i++ {
+		g.AddNode("v")
+	}
+	g.AddEdge(0, 1) //nolint:errcheck
+	c, err := Complement(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K4 has 6 edges; complement of 1 edge = 5.
+	if c.NumEdges() != 5 {
+		t.Fatalf("complement edges = %d", c.NumEdges())
+	}
+	if c.HasEdge(0, 1) {
+		t.Fatal("original edge present in complement")
+	}
+	if _, err := Complement(NewDirected()); err == nil {
+		t.Fatal("directed complement accepted")
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	a := New()
+	a.AddNode("a0")
+	a.AddNode("a1")
+	a.AddEdge(0, 1) //nolint:errcheck
+	b := New()
+	b.AddNode("b0")
+	b.AddNode("b1")
+	b.AddEdge(0, 1) //nolint:errcheck
+	u, err := DisjointUnion(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumNodes() != 4 || u.NumEdges() != 2 {
+		t.Fatalf("union = %s", u)
+	}
+	if !u.HasEdge(2, 3) || u.HasEdge(1, 2) {
+		t.Fatal("union edges wrong")
+	}
+	if _, err := DisjointUnion(a, NewDirected()); err == nil {
+		t.Fatal("mixed directedness accepted")
+	}
+}
+
+func TestEdgeDifference(t *testing.T) {
+	a := New()
+	for i := 0; i < 3; i++ {
+		a.AddNode("v")
+	}
+	a.AddEdge(0, 1) //nolint:errcheck
+	a.AddEdge(1, 2) //nolint:errcheck
+	b := a.Clone()
+	b.RemoveEdge(1, 2)
+	diff := EdgeDifference(a, b)
+	if len(diff) != 1 || diff[0].From != 1 || diff[0].To != 2 {
+		t.Fatalf("diff = %v", diff)
+	}
+	// Orientation-insensitive for undirected graphs.
+	c := New()
+	for i := 0; i < 3; i++ {
+		c.AddNode("v")
+	}
+	c.AddEdge(1, 0) //nolint:errcheck // reversed storage
+	c.AddEdge(2, 1) //nolint:errcheck
+	if diff := EdgeDifference(a, c); len(diff) != 0 {
+		t.Fatalf("reversed-orientation diff = %v", diff)
+	}
+}
+
+// Property: complement of complement is the original edge set.
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		g := ErdosRenyi(n, 0.4, rand.New(rand.NewSource(seed)))
+		c, err := Complement(g)
+		if err != nil {
+			return false
+		}
+		cc, err := Complement(c)
+		if err != nil {
+			return false
+		}
+		if cc.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !cc.HasEdge(e.From, e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: induced subgraph never contains edges absent from the parent.
+func TestQuickInducedSubgraphSound(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(n, 0.3, rng)
+		var pick []NodeID
+		for i := 0; i < n; i += 2 {
+			pick = append(pick, NodeID(i))
+		}
+		sub, remap := InducedSubgraph(g, pick)
+		inv := make(map[NodeID]NodeID, len(remap))
+		for old, nw := range remap {
+			inv[nw] = old
+		}
+		for _, e := range sub.Edges() {
+			if !g.HasEdge(inv[e.From], inv[e.To]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package kg
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatgraph/internal/graph"
+)
+
+func BenchmarkDetect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.KnowledgeGraph(300, 900, rng)
+	InjectNoise(g, 30, 10, rng)
+	d := NewDetector()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Detect(g)
+	}
+}
+
+func BenchmarkMineRules(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.KnowledgeGraph(300, 900, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MineRules(g, MineConfig{})
+	}
+}

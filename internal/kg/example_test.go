@@ -1,0 +1,25 @@
+package kg_test
+
+import (
+	"fmt"
+
+	"chatgraph/internal/graph"
+	"chatgraph/internal/kg"
+)
+
+func ExampleDetector() {
+	g := graph.NewDirected()
+	alice := g.AddNodeAttrs("alice", map[string]string{"type": "person"})
+	bob := g.AddNodeAttrs("bob", map[string]string{"type": "person"})
+	paris := g.AddNodeAttrs("paris", map[string]string{"type": "place"})
+	g.AddEdgeLabeled(alice, bob, "spouse_of", 1)    //nolint:errcheck
+	g.AddEdgeLabeled(alice, paris, "located_in", 1) //nolint:errcheck // type violation
+
+	d := kg.NewDetector()
+	for _, issue := range d.Detect(g) {
+		fmt.Println(issue)
+	}
+	// Output:
+	// remove edge 0 -[located_in]-> 2 (type violation: located_in(person,place) requires (place,place))
+	// add edge 1 -[spouse_of]-> 0 (spouse symmetry)
+}

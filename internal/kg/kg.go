@@ -1,0 +1,306 @@
+// Package kg provides the knowledge-graph analysis behind the paper's
+// chat-based graph cleaning scenario (Fig. 6): detecting incorrect edges,
+// inferring missing edges with logical rules, injecting synthetic noise for
+// evaluation, and producing an edit plan the executor applies after user
+// confirmation.
+package kg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"chatgraph/internal/graph"
+)
+
+// Issue is one suspected defect in a knowledge graph.
+type Issue struct {
+	// Kind is "incorrect" (edge should be removed) or "missing" (edge
+	// should be added).
+	Kind   string
+	From   graph.NodeID
+	To     graph.NodeID
+	Label  string
+	Reason string
+}
+
+// String renders the issue for chat transcripts and confirmation prompts.
+func (i Issue) String() string {
+	verb := "remove"
+	if i.Kind == "missing" {
+		verb = "add"
+	}
+	return fmt.Sprintf("%s edge %d -[%s]-> %d (%s)", verb, i.From, i.Label, i.To, i.Reason)
+}
+
+// TypeSignatures maps a relation label to the (subject type, object type)
+// pair it requires; edges violating their signature are flagged incorrect.
+type TypeSignatures map[string][2]string
+
+// Rule is a Horn-style inference rule over relation labels.
+type Rule struct {
+	// Name describes the rule in reports.
+	Name string
+	// Kind selects the template: "symmetric" (r(x,y) ⇒ r(y,x)),
+	// "transitive" (r(x,y) ∧ r(y,z) ⇒ r(x,z)), or "composition"
+	// (Body1(x,y) ∧ Body2(y,z) ⇒ Head(x,z)).
+	Kind string
+	// Rel is the relation for symmetric/transitive rules.
+	Rel string
+	// Body1, Body2, Head configure composition rules.
+	Body1, Body2, Head string
+}
+
+// DefaultRules are the inference rules matching the synthetic KG vocabulary
+// in internal/graph (KnowledgeGraph generator).
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "spouse symmetry", Kind: "symmetric", Rel: "spouse_of"},
+		{Name: "located transitivity", Kind: "transitive", Rel: "located_in"},
+		{Name: "part_of transitivity", Kind: "transitive", Rel: "part_of"},
+		{Name: "capital implies located", Kind: "composition", Body1: "capital_of", Body2: "located_in", Head: "located_in"},
+		{Name: "member works composition", Kind: "composition", Body1: "member_of", Body2: "part_of", Head: "member_of"},
+	}
+}
+
+// Detector finds incorrect and missing edges.
+type Detector struct {
+	Signatures TypeSignatures
+	Rules      []Rule
+	// MaxIssues caps the report size (0 = unlimited).
+	MaxIssues int
+}
+
+// NewDetector returns a Detector with the default signatures (matching the
+// synthetic generator) and rules.
+func NewDetector() *Detector {
+	return &Detector{Signatures: TypeSignatures(graph.KGRelationTypes()), Rules: DefaultRules()}
+}
+
+// DetectIncorrect flags edges whose endpoint types violate the relation
+// signature and duplicate edges (same endpoints and label stored twice).
+func (d *Detector) DetectIncorrect(g *graph.Graph) []Issue {
+	var issues []Issue
+	seen := make(map[string]bool)
+	for _, e := range g.Edges() {
+		key := fmt.Sprintf("%d|%s|%d", e.From, e.Label, e.To)
+		if seen[key] {
+			issues = append(issues, Issue{
+				Kind: "incorrect", From: e.From, To: e.To, Label: e.Label,
+				Reason: "duplicate triple",
+			})
+			continue
+		}
+		seen[key] = true
+		sig, ok := d.Signatures[e.Label]
+		if !ok {
+			issues = append(issues, Issue{
+				Kind: "incorrect", From: e.From, To: e.To, Label: e.Label,
+				Reason: "unknown relation",
+			})
+			continue
+		}
+		st := g.Node(e.From).Attrs["type"]
+		ot := g.Node(e.To).Attrs["type"]
+		if st != sig[0] || ot != sig[1] {
+			issues = append(issues, Issue{
+				Kind: "incorrect", From: e.From, To: e.To, Label: e.Label,
+				Reason: fmt.Sprintf("type violation: %s(%s,%s) requires (%s,%s)", e.Label, st, ot, sig[0], sig[1]),
+			})
+		}
+	}
+	return d.cap(issues)
+}
+
+// DetectMissing applies the inference rules and reports conclusions not
+// present in the graph.
+func (d *Detector) DetectMissing(g *graph.Graph) []Issue {
+	// byRel[label][from] = set of to-nodes. Only signature-valid triples
+	// feed the rules: inferring over an incorrect edge would launder its
+	// error into plausible-looking "missing" conclusions.
+	byRel := make(map[string]map[graph.NodeID][]graph.NodeID)
+	has := make(map[string]bool)
+	for _, e := range g.Edges() {
+		has[tripleKey(e.From, e.Label, e.To)] = true
+		if !d.validTriple(g, e.From, e.Label, e.To) {
+			continue
+		}
+		if byRel[e.Label] == nil {
+			byRel[e.Label] = make(map[graph.NodeID][]graph.NodeID)
+		}
+		byRel[e.Label][e.From] = append(byRel[e.Label][e.From], e.To)
+	}
+	var issues []Issue
+	emit := func(from graph.NodeID, rel string, to graph.NodeID, why string) {
+		if from == to || has[tripleKey(from, rel, to)] {
+			return
+		}
+		if !d.validTriple(g, from, rel, to) {
+			return
+		}
+		has[tripleKey(from, rel, to)] = true // dedup across rules
+		issues = append(issues, Issue{Kind: "missing", From: from, To: to, Label: rel, Reason: why})
+	}
+	for _, r := range d.Rules {
+		switch r.Kind {
+		case "symmetric":
+			for from, tos := range byRel[r.Rel] {
+				for _, to := range tos {
+					emit(to, r.Rel, from, r.Name)
+				}
+			}
+		case "transitive":
+			for x, ys := range byRel[r.Rel] {
+				for _, y := range ys {
+					for _, z := range byRel[r.Rel][y] {
+						emit(x, r.Rel, z, r.Name)
+					}
+				}
+			}
+		case "composition":
+			for x, ys := range byRel[r.Body1] {
+				for _, y := range ys {
+					for _, z := range byRel[r.Body2][y] {
+						emit(x, r.Head, z, r.Name)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].From != issues[j].From {
+			return issues[i].From < issues[j].From
+		}
+		if issues[i].To != issues[j].To {
+			return issues[i].To < issues[j].To
+		}
+		return issues[i].Label < issues[j].Label
+	})
+	return d.cap(issues)
+}
+
+// Detect runs both detectors, incorrect first.
+func (d *Detector) Detect(g *graph.Graph) []Issue {
+	issues := d.DetectIncorrect(g)
+	issues = append(issues, d.DetectMissing(g)...)
+	return d.cap(issues)
+}
+
+func (d *Detector) cap(issues []Issue) []Issue {
+	if d.MaxIssues > 0 && len(issues) > d.MaxIssues {
+		return issues[:d.MaxIssues]
+	}
+	return issues
+}
+
+// validTriple reports whether the triple satisfies its relation's type
+// signature (unknown relations never validate).
+func (d *Detector) validTriple(g *graph.Graph, from graph.NodeID, rel string, to graph.NodeID) bool {
+	sig, ok := d.Signatures[rel]
+	if !ok {
+		return false
+	}
+	return g.Node(from).Attrs["type"] == sig[0] && g.Node(to).Attrs["type"] == sig[1]
+}
+
+func tripleKey(from graph.NodeID, rel string, to graph.NodeID) string {
+	return fmt.Sprintf("%d|%s|%d", from, rel, to)
+}
+
+// Apply edits g in place according to the accepted issues: incorrect edges
+// are removed, missing edges added. It returns how many edits succeeded.
+func Apply(g *graph.Graph, issues []Issue) int {
+	applied := 0
+	for _, is := range issues {
+		switch is.Kind {
+		case "incorrect":
+			// Label-aware removal: parallel edges with other relations
+			// between the same entities must survive.
+			if g.RemoveEdgeLabeled(is.From, is.To, is.Label) {
+				applied++
+			}
+		case "missing":
+			if !g.HasEdge(is.From, is.To) {
+				if err := g.AddEdgeLabeled(is.From, is.To, is.Label, 1); err == nil {
+					applied++
+				}
+			}
+		}
+	}
+	return applied
+}
+
+// Corruption records the noise InjectNoise introduced, so experiments can
+// score detection precision/recall.
+type Corruption struct {
+	AddedWrong   []Issue // edges injected that violate signatures
+	RemovedTrue  []Issue // edges deleted whose absence rules can re-infer
+	CleanTriples int
+}
+
+// InjectNoise corrupts g in place: nWrong type-violating edges are added and
+// nDrop existing edges removed. It returns what was done for scoring.
+func InjectNoise(g *graph.Graph, nWrong, nDrop int, rng *rand.Rand) Corruption {
+	var c Corruption
+	c.CleanTriples = g.NumEdges()
+	rels := make([]string, 0, len(graph.KGRelationTypes()))
+	for r := range graph.KGRelationTypes() {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	n := g.NumNodes()
+	// Drop first so a drop can never delete an edge injected below.
+	for dropped := 0; dropped < nDrop && g.NumEdges() > 0; dropped++ {
+		es := g.Edges()
+		e := es[rng.Intn(len(es))]
+		g.RemoveEdge(e.From, e.To)
+		c.RemovedTrue = append(c.RemovedTrue, Issue{Kind: "missing", From: e.From, To: e.To, Label: e.Label})
+	}
+	for added := 0; added < nWrong; {
+		rel := rels[rng.Intn(len(rels))]
+		sig := graph.KGRelationTypes()[rel]
+		from := graph.NodeID(rng.Intn(n))
+		to := graph.NodeID(rng.Intn(n))
+		if from == to || g.HasEdge(from, to) {
+			continue
+		}
+		// Only inject if it actually violates the signature, so ground
+		// truth is unambiguous.
+		if g.Node(from).Attrs["type"] == sig[0] && g.Node(to).Attrs["type"] == sig[1] {
+			continue
+		}
+		if err := g.AddEdgeLabeled(from, to, rel, 1); err != nil {
+			continue
+		}
+		c.AddedWrong = append(c.AddedWrong, Issue{Kind: "incorrect", From: from, To: to, Label: rel})
+		added++
+	}
+	return c
+}
+
+// Score compares detected issues against a known corruption and returns
+// precision and recall over the injected incorrect edges.
+func Score(detected []Issue, c Corruption) (precision, recall float64) {
+	injected := make(map[string]bool, len(c.AddedWrong))
+	for _, is := range c.AddedWrong {
+		injected[tripleKey(is.From, is.Label, is.To)] = true
+	}
+	tp, fp := 0, 0
+	for _, is := range detected {
+		if is.Kind != "incorrect" {
+			continue
+		}
+		if injected[tripleKey(is.From, is.Label, is.To)] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if len(c.AddedWrong) > 0 {
+		recall = float64(tp) / float64(len(c.AddedWrong))
+	}
+	return precision, recall
+}

@@ -1,0 +1,196 @@
+// Package llm abstracts the language model that turns a (text, graph) prompt
+// into an API chain. The paper plugs HuggingFace models (ChatGLM, MOSS,
+// Vicuna) into this slot; offline this package provides two interchangeable
+// implementations of the same Client interface:
+//
+//   - SimClient — a deterministic graph-aware model backed by the finetuned
+//     transition model from internal/finetune. It consumes the exact same
+//     prompt text (question, graph kind, candidate APIs, graph path
+//     sequences) a real LLM would receive, so the full prompt-construction
+//     code path is exercised.
+//   - HTTPClient — an OpenAI-style chat-completions client over net/http
+//     for use against any locally hosted model endpoint.
+package llm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"chatgraph/internal/chain"
+	"chatgraph/internal/finetune"
+	"chatgraph/internal/graph"
+	"chatgraph/internal/seq"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    string `json:"role"` // "system", "user", or "assistant"
+	Content string `json:"content"`
+}
+
+// Client generates a completion for a chat transcript.
+type Client interface {
+	Complete(ctx context.Context, messages []Message) (string, error)
+}
+
+// Prompt section markers. The builder writes them; SimClient parses them;
+// real LLMs simply see well-structured text.
+const (
+	sectionQuestion = "### Question"
+	sectionKind     = "### GraphKind"
+	sectionAPIs     = "### CandidateAPIs"
+	sectionPaths    = "### GraphPaths"
+	sectionSuper    = "### GraphMotifPaths"
+)
+
+// PromptConfig tunes prompt construction.
+type PromptConfig struct {
+	// MaxPathLines caps how many path lines are injected (0 → 40).
+	MaxPathLines int
+	// PathLength is the sequentializer's l (0 → 3).
+	PathLength int
+	// MaxChainLength caps generated chains for clients that honor it
+	// (0 → 8). It is carried here so session config travels as one value.
+	MaxChainLength int
+}
+
+// BuildPrompt renders the ChatGraph prompt: the user question, the predicted
+// graph kind, the retrieved candidate APIs with descriptions, and the graph
+// serialized by the sequentializer at both structure levels.
+func BuildPrompt(question string, g *graph.Graph, kind graph.Kind, candidates []string, descriptions map[string]string, cfg PromptConfig) []Message {
+	if cfg.MaxPathLines <= 0 {
+		cfg.MaxPathLines = 40
+	}
+	if cfg.PathLength <= 0 {
+		cfg.PathLength = 3
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n\n", sectionQuestion, question)
+	fmt.Fprintf(&b, "%s\n%s\n\n", sectionKind, kind)
+	fmt.Fprintf(&b, "%s\n", sectionAPIs)
+	for _, c := range candidates {
+		if d := descriptions[c]; d != "" {
+			fmt.Fprintf(&b, "- %s: %s\n", c, d)
+		} else {
+			fmt.Fprintf(&b, "- %s\n", c)
+		}
+	}
+	b.WriteString("\n")
+	if g != nil && g.NumNodes() > 0 {
+		res := seq.Sequentialize(g, seq.Options{MaxLength: cfg.PathLength, Levels: 2})
+		fmt.Fprintf(&b, "%s\n%s\n", sectionPaths, seq.RenderAll(g, res.Paths, cfg.MaxPathLines))
+		if len(res.SuperPaths) > 0 {
+			fmt.Fprintf(&b, "%s\n%s\n", sectionSuper, seq.RenderAll(res.Super, res.SuperPaths, cfg.MaxPathLines/2))
+		}
+	}
+	system := "You are ChatGraph. Given the user question, the graph kind, the candidate " +
+		"APIs, and the graph path sequences, answer with exactly one API chain in the form " +
+		"\"api1 -> api2(arg=value) -> api3\" using only candidate APIs."
+	return []Message{
+		{Role: "system", Content: system},
+		{Role: "user", Content: b.String()},
+	}
+}
+
+// parsePrompt recovers the structured fields from a BuildPrompt message list.
+func parsePrompt(messages []Message) (question string, kind graph.Kind, candidates []string, err error) {
+	var user string
+	for _, m := range messages {
+		if m.Role == "user" {
+			user = m.Content
+		}
+	}
+	if user == "" {
+		return "", graph.KindUnknown, nil, fmt.Errorf("llm: prompt has no user message")
+	}
+	section := ""
+	for _, line := range strings.Split(user, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "### "):
+			section = trimmed
+		case trimmed == "":
+		default:
+			switch section {
+			case sectionQuestion:
+				if question == "" {
+					question = trimmed
+				}
+			case sectionKind:
+				kind = parseKind(trimmed)
+			case sectionAPIs:
+				name := strings.TrimPrefix(trimmed, "- ")
+				if i := strings.IndexByte(name, ':'); i > 0 {
+					name = name[:i]
+				}
+				candidates = append(candidates, strings.TrimSpace(name))
+			}
+		}
+	}
+	if question == "" {
+		return "", graph.KindUnknown, nil, fmt.Errorf("llm: prompt missing %s section", sectionQuestion)
+	}
+	return question, kind, candidates, nil
+}
+
+func parseKind(s string) graph.Kind {
+	switch s {
+	case "social":
+		return graph.KindSocial
+	case "molecule":
+		return graph.KindMolecule
+	case "knowledge":
+		return graph.KindKnowledge
+	default:
+		return graph.KindUnknown
+	}
+}
+
+// SimClient is the deterministic offline LLM: it parses the structured
+// prompt and decodes an API chain from the finetuned transition model,
+// restricted to the candidate APIs when candidates are present.
+type SimClient struct {
+	model *finetune.Model
+	// maxLen caps generated chains.
+	maxLen int
+}
+
+// NewSimClient wraps a finetuned model. maxLen ≤ 0 means 8.
+func NewSimClient(model *finetune.Model, maxLen int) *SimClient {
+	if maxLen <= 0 {
+		maxLen = 8
+	}
+	return &SimClient{model: model, maxLen: maxLen}
+}
+
+// Complete implements Client.
+func (c *SimClient) Complete(_ context.Context, messages []Message) (string, error) {
+	question, kind, candidates, err := parsePrompt(messages)
+	if err != nil {
+		return "", err
+	}
+	generated := c.model.Decode(question, kind, c.maxLen)
+	if len(candidates) > 0 {
+		allowed := make(map[string]bool, len(candidates))
+		for _, a := range candidates {
+			allowed[a] = true
+		}
+		filtered := generated[:0]
+		for _, s := range generated {
+			if allowed[s.API] {
+				filtered = append(filtered, s)
+			}
+		}
+		// If filtering removed everything, fall back to the top candidate
+		// so the session always has a chain to confirm.
+		if len(filtered) == 0 && len(candidates) > 0 {
+			filtered = chain.Chain{chain.Step{API: candidates[0]}}
+		}
+		generated = filtered
+	}
+	if len(generated) == 0 {
+		return "", fmt.Errorf("llm: model generated an empty chain for %q", question)
+	}
+	return generated.String(), nil
+}

@@ -1,0 +1,31 @@
+package moldb
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatgraph/internal/graph"
+)
+
+func BenchmarkFingerprint(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Molecule(40, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Fingerprint(g, 3)
+	}
+}
+
+func BenchmarkSearch1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	db := New(3)
+	for i := 0; i < 1000; i++ {
+		db.Add("m", graph.Molecule(8+rng.Intn(20), rng))
+	}
+	q := graph.Molecule(16, rng)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Search(q, 2)
+	}
+}

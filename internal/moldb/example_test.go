@@ -1,0 +1,36 @@
+package moldb_test
+
+import (
+	"fmt"
+
+	"chatgraph/internal/graph"
+	"chatgraph/internal/moldb"
+)
+
+func ExampleDB_Search() {
+	db := moldb.New(3)
+
+	ring := graph.New()
+	for i := 0; i < 6; i++ {
+		ring.AddNode("C")
+	}
+	for i := 0; i < 6; i++ {
+		ring.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%6)) //nolint:errcheck
+	}
+	db.Add("benzene-like", ring)
+
+	chainMol := graph.New()
+	for i := 0; i < 4; i++ {
+		chainMol.AddNode("C")
+	}
+	for i := 0; i+1 < 4; i++ {
+		chainMol.AddEdge(graph.NodeID(i), graph.NodeID(i+1)) //nolint:errcheck
+	}
+	db.Add("butane-like", chainMol)
+
+	// Query with another 6-ring: the ring molecule must rank first.
+	hits := db.Search(ring.Clone(), 2)
+	fmt.Println(hits[0].Name, hits[0].Similarity >= hits[1].Similarity)
+	// Output:
+	// benzene-like true
+}

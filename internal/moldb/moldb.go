@@ -1,0 +1,205 @@
+// Package moldb is the molecule graph database behind the paper's
+// chat-based graph comparison scenario (Fig. 5): it stores molecule graphs
+// and answers "what molecules are similar to G" via a Weisfeiler–Lehman
+// subtree kernel, the standard label-refinement similarity for labeled
+// graphs.
+package moldb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"chatgraph/internal/graph"
+)
+
+// Entry is one stored molecule.
+type Entry struct {
+	ID    int
+	Name  string
+	Graph *graph.Graph
+	// fingerprint caches the WL feature multiset for fast scoring.
+	fingerprint map[uint64]float64
+	norm        float64
+}
+
+// DB is an in-memory molecule database safe for concurrent reads after the
+// last Add.
+type DB struct {
+	mu         sync.RWMutex
+	entries    []Entry
+	iterations int
+}
+
+// New returns an empty DB whose similarity uses the given number of WL
+// refinement iterations (≤ 0 means the default 3).
+func New(wlIterations int) *DB {
+	if wlIterations <= 0 {
+		wlIterations = 3
+	}
+	return &DB{iterations: wlIterations}
+}
+
+// Len reports how many molecules are stored.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Add stores g under name and returns its ID.
+func (db *DB) Add(name string, g *graph.Graph) int {
+	fp := Fingerprint(g, db.iterations)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id := len(db.entries)
+	db.entries = append(db.entries, Entry{
+		ID: id, Name: name, Graph: g,
+		fingerprint: fp, norm: fpNorm(fp),
+	})
+	return id
+}
+
+// Get returns the entry with the given ID.
+func (db *DB) Get(id int) (Entry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if id < 0 || id >= len(db.entries) {
+		return Entry{}, fmt.Errorf("moldb: no molecule with id %d", id)
+	}
+	return db.entries[id], nil
+}
+
+// Match is one similarity-search hit.
+type Match struct {
+	ID         int
+	Name       string
+	Similarity float64 // normalized WL kernel in [0, 1]
+}
+
+// Search returns the k stored molecules most similar to q, best first.
+// Ties break by ID for determinism.
+func (db *DB) Search(q *graph.Graph, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	qfp := Fingerprint(q, db.iterations)
+	qn := fpNorm(qfp)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ms := make([]Match, 0, len(db.entries))
+	for _, e := range db.entries {
+		ms = append(ms, Match{ID: e.ID, Name: e.Name, Similarity: cosineKernel(qfp, qn, e.fingerprint, e.norm)})
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Similarity != ms[j].Similarity {
+			return ms[i].Similarity > ms[j].Similarity
+		}
+		return ms[i].ID < ms[j].ID
+	})
+	if k > len(ms) {
+		k = len(ms)
+	}
+	return ms[:k]
+}
+
+// Similarity returns the normalized WL kernel between two graphs, using the
+// DB's iteration count.
+func (db *DB) Similarity(a, b *graph.Graph) float64 {
+	fa := Fingerprint(a, db.iterations)
+	fb := Fingerprint(b, db.iterations)
+	return cosineKernel(fa, fpNorm(fa), fb, fpNorm(fb))
+}
+
+// Fingerprint computes the WL subtree feature multiset of g: labels are
+// iteratively refined by hashing each node's label with the sorted labels of
+// its neighbors, and every (iteration, label) occurrence increments a
+// feature bucket.
+func Fingerprint(g *graph.Graph, iterations int) map[uint64]float64 {
+	n := g.NumNodes()
+	fp := make(map[uint64]float64)
+	if n == 0 {
+		return fp
+	}
+	labels := make([]uint64, n)
+	for i, nd := range g.Nodes() {
+		l := nd.Label
+		if e := nd.Attrs["element"]; e != "" {
+			l = e
+		}
+		labels[i] = hash64("L0:" + l)
+		fp[labels[i]]++
+	}
+	for it := 1; it <= iterations; it++ {
+		next := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			nbs := g.Neighbors(graph.NodeID(i))
+			nbLabels := make([]uint64, len(nbs))
+			for j, nb := range nbs {
+				nbLabels[j] = labels[nb]
+			}
+			sort.Slice(nbLabels, func(a, b int) bool { return nbLabels[a] < nbLabels[b] })
+			h := fnv.New64a()
+			writeU64(h, uint64(it))
+			writeU64(h, labels[i])
+			for _, nl := range nbLabels {
+				writeU64(h, nl)
+			}
+			next[i] = h.Sum64()
+			fp[next[i]]++
+		}
+		labels = next
+	}
+	return fp
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:]) //nolint:errcheck // fnv never errors
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck
+	return h.Sum64()
+}
+
+func fpNorm(fp map[uint64]float64) float64 {
+	var s float64
+	for _, v := range fp {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// cosineKernel is the cosine-normalized dot product of two feature
+// multisets, 1 for identical structures.
+func cosineKernel(a map[uint64]float64, an float64, b map[uint64]float64, bn float64) float64 {
+	if an == 0 || bn == 0 {
+		return 0
+	}
+	// Iterate the smaller map.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			dot += av * bv
+		}
+	}
+	return dot / (an * bn)
+}
+
+// Describe renders a stored molecule as a one-line summary for chat output.
+func Describe(e Entry) string {
+	stats := graph.ComputeStats(e.Graph)
+	return fmt.Sprintf("%s (id %s): %d atoms, %d bonds, %d rings",
+		e.Name, strconv.Itoa(e.ID), stats.Nodes, stats.Edges, stats.Edges-stats.Nodes+stats.Components)
+}

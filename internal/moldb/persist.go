@@ -1,0 +1,78 @@
+package moldb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"chatgraph/internal/graph"
+)
+
+// Persistence: the molecule database round-trips through JSON so a curated
+// collection can be shipped with a deployment instead of regenerated.
+
+type persistedEntry struct {
+	Name  string       `json:"name"`
+	Graph *graph.Graph `json:"graph"`
+}
+
+type persistedDB struct {
+	WLIterations int              `json:"wl_iterations"`
+	Molecules    []persistedEntry `json:"molecules"`
+}
+
+// Write serializes the database as JSON.
+func (db *DB) Write(w io.Writer) error {
+	db.mu.RLock()
+	p := persistedDB{WLIterations: db.iterations}
+	for _, e := range db.entries {
+		p.Molecules = append(p.Molecules, persistedEntry{Name: e.Name, Graph: e.Graph})
+	}
+	db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("moldb: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadFrom loads a database serialized by Write. Fingerprints are
+// recomputed on load, so the format stays stable if the kernel changes.
+func ReadFrom(r io.Reader) (*DB, error) {
+	var p persistedDB
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("moldb: decode: %w", err)
+	}
+	db := New(p.WLIterations)
+	for i, e := range p.Molecules {
+		if e.Graph == nil {
+			return nil, fmt.Errorf("moldb: molecule %d has no graph", i)
+		}
+		db.Add(e.Name, e.Graph)
+	}
+	return db, nil
+}
+
+// Save writes the database to a file.
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("moldb: %w", err)
+	}
+	defer f.Close()
+	if err := db.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a database from a file written by Save.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("moldb: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

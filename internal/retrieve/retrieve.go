@@ -1,0 +1,118 @@
+// Package retrieve implements the paper's API retrieval module: API
+// descriptions are embedded into high-dimensional vectors and, given a user
+// prompt, the most relevant APIs are found by ANN search over a τ-MG
+// proximity-graph index (falling back to exact search for tiny registries,
+// where an index buys nothing).
+package retrieve
+
+import (
+	"fmt"
+	"sort"
+
+	"chatgraph/internal/ann"
+	"chatgraph/internal/apis"
+	"chatgraph/internal/embed"
+)
+
+// Scored is one retrieval hit.
+type Scored struct {
+	Name string
+	// Distance is the L2 distance between prompt and description
+	// embeddings (smaller is more relevant).
+	Distance float32
+}
+
+// Config tunes index construction.
+type Config struct {
+	// Dim is the embedding dimensionality (0 → 128).
+	Dim int
+	// Tau is the τ-MG parameter (0 is valid: MRNG).
+	Tau float32
+	// ExactThreshold: registries with at most this many APIs use brute
+	// force instead of a proximity graph (0 → 64).
+	ExactThreshold int
+}
+
+// Index retrieves APIs by embedding similarity.
+type Index struct {
+	emb    *embed.Hashing
+	names  []string
+	descs  map[string]string
+	vecs   [][]float32
+	search ann.Index
+}
+
+// New embeds every registered API description and builds the ANN index.
+func New(reg *apis.Registry, cfg Config) (*Index, error) {
+	all := reg.All()
+	if len(all) == 0 {
+		return nil, fmt.Errorf("retrieve: empty registry")
+	}
+	if cfg.Dim <= 0 {
+		cfg.Dim = 512
+	}
+	if cfg.ExactThreshold <= 0 {
+		cfg.ExactThreshold = 64
+	}
+	ix := &Index{
+		emb:   embed.NewHashing(cfg.Dim),
+		descs: make(map[string]string, len(all)),
+	}
+	corpus := make([]string, 0, len(all))
+	for _, a := range all {
+		text := a.Name + " " + a.Description
+		corpus = append(corpus, text)
+		ix.names = append(ix.names, a.Name)
+		ix.descs[a.Name] = a.Description
+	}
+	ix.emb.Fit(corpus)
+	ix.vecs = make([][]float32, len(corpus))
+	for i, text := range corpus {
+		ix.vecs[i] = ix.emb.Embed(text)
+	}
+	if len(ix.vecs) <= cfg.ExactThreshold {
+		ix.search = ann.NewBruteForce(ix.vecs)
+		return ix, nil
+	}
+	idx, err := ann.NewTauMG(ix.vecs, ann.TauMGConfig{Tau: cfg.Tau})
+	if err != nil {
+		return nil, fmt.Errorf("retrieve: build index: %w", err)
+	}
+	ix.search = idx
+	return ix, nil
+}
+
+// Len reports the number of indexed APIs.
+func (ix *Index) Len() int { return len(ix.names) }
+
+// Description returns the indexed description of an API.
+func (ix *Index) Description(name string) string { return ix.descs[name] }
+
+// Descriptions returns the full name → description map (shared; read-only).
+func (ix *Index) Descriptions() map[string]string { return ix.descs }
+
+// TopAPIs returns the k APIs whose descriptions are nearest to the query
+// text, most relevant first.
+func (ix *Index) TopAPIs(query string, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	q := ix.emb.Embed(query)
+	rs := ix.search.Search(q, k)
+	out := make([]Scored, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, Scored{Name: ix.names[r.ID], Distance: r.Dist})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}
+
+// Names returns just the API names of TopAPIs, in relevance order.
+func (ix *Index) Names(query string, k int) []string {
+	hits := ix.TopAPIs(query, k)
+	names := make([]string, len(hits))
+	for i, h := range hits {
+		names[i] = h.Name
+	}
+	return names
+}

@@ -1,0 +1,106 @@
+package retrieve
+
+import (
+	"fmt"
+	"testing"
+
+	"chatgraph/internal/apis"
+)
+
+func TestNewRejectsEmptyRegistry(t *testing.T) {
+	if _, err := New(apis.NewRegistry(), Config{}); err == nil {
+		t.Fatal("empty registry accepted")
+	}
+}
+
+func TestTopAPIsRelevance(t *testing.T) {
+	ix, err := New(apis.Default(nil), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		query string
+		want  string
+	}{
+		{"detect the communities of this social network", "community.detect"},
+		{"predict the toxicity of the molecule", "molecule.toxicity"},
+		{"find similar molecules in the database", "similarity.search"},
+		{"infer the missing edges of the knowledge graph", "kg.detect_missing"},
+		{"shortest path between two nodes", "path.shortest"},
+	}
+	for _, c := range cases {
+		hits := ix.Names(c.query, 5)
+		found := false
+		for _, h := range hits {
+			if h == c.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("query %q top-5 = %v, want %s included", c.query, hits, c.want)
+		}
+	}
+}
+
+func TestTopAPIsSortedAndBounded(t *testing.T) {
+	ix, err := New(apis.Default(nil), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.TopAPIs("graph analysis", 3)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Distance < hits[i-1].Distance {
+			t.Fatal("hits not sorted by distance")
+		}
+	}
+	if got := ix.TopAPIs("x", 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+func TestDescriptionLookup(t *testing.T) {
+	ix, err := New(apis.Default(nil), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Description("community.detect") == "" {
+		t.Fatal("description missing")
+	}
+	if len(ix.Descriptions()) != ix.Len() {
+		t.Fatal("Descriptions incomplete")
+	}
+}
+
+// TestTauMGPathUsed forces the proximity-graph path by lowering the exact
+// threshold and padding the registry past it.
+func TestTauMGPathUsed(t *testing.T) {
+	reg := apis.Default(nil)
+	for i := 0; reg.Len() < 80; i++ {
+		name := fmt.Sprintf("pad.api%d", i)
+		if err := reg.Register(apis.API{
+			Name:        name,
+			Description: fmt.Sprintf("padding operation number %d for index scale testing", i),
+			Category:    "util",
+			Fn:          func(apis.Input) (apis.Output, error) { return apis.Output{Text: "pad"}, nil },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := New(reg, Config{ExactThreshold: 16, Tau: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Names("detect communities in the social network", 5)
+	found := false
+	for _, h := range hits {
+		if h == "community.detect" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tau-MG retrieval top-5 = %v", hits)
+	}
+}

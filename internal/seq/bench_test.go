@@ -1,0 +1,36 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatgraph/internal/graph"
+)
+
+func BenchmarkSequentialize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BarabasiAlbert(200, 2, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sequentialize(g, Options{MaxLength: 2, Levels: 2})
+	}
+}
+
+func BenchmarkSuperGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.PlantedCommunities(5, 40, 0.3, 0.01, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SuperGraph(g)
+	}
+}
+
+func BenchmarkRenderAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.BarabasiAlbert(100, 2, rng)
+	paths := PathCover(g, 2, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RenderAll(g, paths, 40)
+	}
+}

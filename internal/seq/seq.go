@@ -1,0 +1,212 @@
+// Package seq implements the graph sequentializer of the paper's §II-B: it
+// decomposes a graph into sequences an LLM can consume. Two mechanisms are
+// combined:
+//
+//  1. A length-constrained path cover — for every node u, paths starting at
+//     u of length at most l that cover the subgraph within l hops of u
+//     (following the cited prior work on localized pattern queries). Paths
+//     are extracted from the BFS tree rooted at u, so the per-node path
+//     count is bounded by the size of u's l-hop neighborhood and the total
+//     is O(|G|²·l) rather than the exponential count of all simple paths.
+//
+//  2. A motif super-graph (following RUM, ICDE 2019) — triangles are merged
+//     into motif super-nodes and the induced super-graph is sequentialized
+//     the same way, giving the LLM a second, coarser level that exposes
+//     multi-level structure (communities, protein tertiary structure, ...).
+package seq
+
+import (
+	"fmt"
+	"strings"
+
+	"chatgraph/internal/graph"
+)
+
+// Path is one node sequence extracted from the graph.
+type Path []graph.NodeID
+
+// Options configures sequentialization.
+type Options struct {
+	// MaxLength is l, the maximum number of edges per path (and the hop
+	// radius each node's paths must cover). Zero means the default 3.
+	MaxLength int
+	// MaxPathsPerNode truncates pathological fans; zero means unlimited.
+	MaxPathsPerNode int
+	// Levels selects how many structure levels to emit: 1 = paths only,
+	// 2 = paths plus motif super-graph paths. Zero means 2.
+	Levels int
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxLength <= 0 {
+		o.MaxLength = 3
+	}
+	if o.Levels <= 0 {
+		o.Levels = 2
+	}
+}
+
+// Result carries the sequentializer output for one graph.
+type Result struct {
+	// Paths is the level-0 length-constrained path cover.
+	Paths []Path
+	// SuperPaths is the level-1 path cover over the motif super-graph
+	// (empty when Levels < 2 or the graph has no motifs to merge).
+	SuperPaths []Path
+	// Super is the motif super-graph itself; SuperMembers[i] lists the
+	// original nodes merged into super-node i.
+	Super        *graph.Graph
+	SuperMembers [][]graph.NodeID
+}
+
+// Sequentialize decomposes g according to opts.
+func Sequentialize(g *graph.Graph, opts Options) Result {
+	opts.setDefaults()
+	res := Result{Paths: PathCover(g, opts.MaxLength, opts.MaxPathsPerNode)}
+	if opts.Levels >= 2 && g.NumNodes() > 0 {
+		super, members := SuperGraph(g)
+		res.Super = super
+		res.SuperMembers = members
+		// Only sequentialize the super level when it actually coarsens the
+		// graph; otherwise it duplicates level 0.
+		if super.NumNodes() < g.NumNodes() {
+			res.SuperPaths = PathCover(super, opts.MaxLength, opts.MaxPathsPerNode)
+		}
+	}
+	return res
+}
+
+// PathCover returns, for every node u of g, root-to-leaf paths of u's
+// depth-limited BFS tree. Every node within l hops of u appears on at least
+// one path starting at u (the covering property the paper requires), and
+// every path has at most l edges. maxPerNode ≤ 0 means unlimited.
+func PathCover(g *graph.Graph, l int, maxPerNode int) []Path {
+	var out []Path
+	for _, n := range g.Nodes() {
+		paths := coverFrom(g, n.ID, l)
+		if maxPerNode > 0 && len(paths) > maxPerNode {
+			paths = paths[:maxPerNode]
+		}
+		out = append(out, paths...)
+	}
+	return out
+}
+
+// coverFrom builds the BFS tree of radius l rooted at u and returns its
+// root-to-leaf paths.
+func coverFrom(g *graph.Graph, u graph.NodeID, l int) []Path {
+	parent := map[graph.NodeID]graph.NodeID{u: u}
+	depth := map[graph.NodeID]int{u: 0}
+	var order []graph.NodeID
+	g.BFS(u, func(id graph.NodeID, d int) bool {
+		if d > l {
+			return false
+		}
+		order = append(order, id)
+		for _, nb := range g.Neighbors(id) {
+			if _, seen := parent[nb]; !seen && d < l {
+				parent[nb] = id
+				depth[nb] = d + 1
+			}
+		}
+		return true
+	})
+	// Drop nodes BFS reported but the radius excluded from the tree.
+	inTree := make(map[graph.NodeID]bool, len(parent))
+	for id := range parent {
+		inTree[id] = true
+	}
+	hasChild := make(map[graph.NodeID]bool, len(parent))
+	for id, p := range parent {
+		if id != u && inTree[p] {
+			hasChild[p] = true
+		}
+	}
+	var paths []Path
+	for _, id := range order {
+		if !inTree[id] || hasChild[id] {
+			continue
+		}
+		// id is a leaf: walk up to the root.
+		var rev Path
+		for cur := id; ; cur = parent[cur] {
+			rev = append(rev, cur)
+			if cur == u {
+				break
+			}
+		}
+		p := make(Path, len(rev))
+		for i := range rev {
+			p[i] = rev[len(rev)-1-i]
+		}
+		paths = append(paths, p)
+	}
+	if len(paths) == 0 {
+		paths = append(paths, Path{u}) // isolated node still yields itself
+	}
+	return paths
+}
+
+// Render writes one path as the token sequence fed to the LLM, e.g.
+// "v0[C] - v3[O] - v4[N]". Labels are included when present because they
+// carry the semantics (element symbols, entity names).
+func Render(g *graph.Graph, p Path) string {
+	var b strings.Builder
+	for i, id := range p {
+		if i > 0 {
+			b.WriteString(" - ")
+		}
+		n := g.Node(id)
+		if n.Label != "" {
+			fmt.Fprintf(&b, "v%d[%s]", id, n.Label)
+		} else {
+			fmt.Fprintf(&b, "v%d", id)
+		}
+	}
+	return b.String()
+}
+
+// RenderAll renders every path, one per line, capped at maxLines (≤ 0 means
+// no cap) with a trailing elision marker when truncated. This is the exact
+// text block the prompt builder injects.
+func RenderAll(g *graph.Graph, ps []Path, maxLines int) string {
+	var b strings.Builder
+	for i, p := range ps {
+		if maxLines > 0 && i >= maxLines {
+			fmt.Fprintf(&b, "... (%d more paths)\n", len(ps)-maxLines)
+			break
+		}
+		b.WriteString(Render(g, p))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CoverageOK verifies the covering property: every node within l hops of u
+// appears on at least one path starting at u, for every u. Tests and the E6
+// bench assert this invariant.
+func CoverageOK(g *graph.Graph, paths []Path, l int) bool {
+	covered := make(map[graph.NodeID]map[graph.NodeID]bool) // start → nodes on its paths
+	for _, p := range paths {
+		if len(p) == 0 {
+			return false
+		}
+		start := p[0]
+		if covered[start] == nil {
+			covered[start] = make(map[graph.NodeID]bool)
+		}
+		for _, id := range p {
+			covered[start][id] = true
+		}
+	}
+	for _, n := range g.Nodes() {
+		want := g.KHopSubgraphNodes(n.ID, l)
+		got := covered[n.ID]
+		for _, w := range want {
+			if !got[w] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+
+	"chatgraph/internal/graph"
+)
+
+// SuperGraph computes the motif super-graph of g in the style of RUM:
+// triangle motifs that share an edge are merged into one super-node, every
+// remaining node becomes a singleton super-node, and super-nodes are joined
+// when any original edge crosses between their member sets. The returned
+// members slice maps each super-node to its original nodes.
+//
+// Triangles are the motif family used here because they are the smallest
+// non-trivial motif, cheap to enumerate, and dense regions (communities,
+// rings) collapse into single super-nodes — exactly the multi-level signal
+// the sequentializer wants to expose.
+func SuperGraph(g *graph.Graph) (*graph.Graph, [][]graph.NodeID) {
+	n := g.NumNodes()
+	uf := newUnionFind(n)
+	// Merge the three corners of every triangle.
+	neigh := make([]map[graph.NodeID]bool, n)
+	for i := 0; i < n; i++ {
+		neigh[i] = make(map[graph.NodeID]bool)
+	}
+	for _, e := range g.Edges() {
+		neigh[e.From][e.To] = true
+		neigh[e.To][e.From] = true
+	}
+	for u := 0; u < n; u++ {
+		for v := range neigh[u] {
+			if int(v) <= u {
+				continue
+			}
+			for w := range neigh[u] {
+				if w <= v || !neigh[v][w] {
+					continue
+				}
+				uf.union(u, int(v))
+				uf.union(u, int(w))
+			}
+		}
+	}
+	// Build super-nodes per union-find root, ordered by smallest member so
+	// output is deterministic.
+	rootMembers := make(map[int][]graph.NodeID)
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		rootMembers[r] = append(rootMembers[r], graph.NodeID(i))
+	}
+	roots := make([]int, 0, len(rootMembers))
+	for r := range rootMembers {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return rootMembers[roots[i]][0] < rootMembers[roots[j]][0]
+	})
+	super := graph.New()
+	super.Name = g.Name + "_super"
+	superOf := make([]graph.NodeID, n)
+	members := make([][]graph.NodeID, 0, len(roots))
+	for _, r := range roots {
+		ms := rootMembers[r]
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		label := superLabel(g, ms)
+		sid := super.AddNode(label)
+		super.SetNodeAttr(sid, "size", fmt.Sprintf("%d", len(ms)))
+		for _, m := range ms {
+			superOf[m] = sid
+		}
+		members = append(members, ms)
+	}
+	// Cross edges between distinct super-nodes, deduplicated.
+	seen := make(map[[2]graph.NodeID]bool)
+	for _, e := range g.Edges() {
+		a, b := superOf[e.From], superOf[e.To]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]graph.NodeID{a, b}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		super.AddEdge(a, b) //nolint:errcheck // endpoints valid by construction
+	}
+	return super, members
+}
+
+// superLabel names a super-node after its dominant member label, prefixed
+// with "motif:" when it merges several nodes.
+func superLabel(g *graph.Graph, ms []graph.NodeID) string {
+	if len(ms) == 1 {
+		return g.Node(ms[0]).Label
+	}
+	counts := make(map[string]int)
+	for _, m := range ms {
+		counts[g.Node(m).Label]++
+	}
+	best, bestCount := "", -1
+	for l, c := range counts {
+		if c > bestCount || c == bestCount && l < best {
+			best, bestCount = l, c
+		}
+	}
+	return fmt.Sprintf("motif:%s*%d", best, len(ms))
+}
+
+// unionFind is a standard path-halving union-find over [0, n).
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

@@ -1,0 +1,188 @@
+// Package server exposes a ChatGraph session over HTTP with JSON endpoints
+// mirroring the three panels of the paper's Gradio interface (Fig. 2):
+// the dialog (POST /chat), the suggested questions (GET /suggest), and graph
+// upload (the graph travels inline in the /chat payload). GET /apis lists
+// the registry for the configuration view (Fig. 3).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"chatgraph/internal/config"
+	"chatgraph/internal/core"
+	"chatgraph/internal/graph"
+)
+
+// Server wraps a Session with HTTP handlers. A mutex serializes Ask calls
+// because a chat session is a single conversation.
+type Server struct {
+	mu   sync.Mutex
+	sess *core.Session
+}
+
+// New returns a Server over sess.
+func New(sess *core.Session) *Server {
+	return &Server{sess: sess}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/chat", s.handleChat)
+	mux.HandleFunc("/apis", s.handleAPIs)
+	mux.HandleFunc("/suggest", s.handleSuggest)
+	mux.HandleFunc("/config", s.handleConfig)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// ChatRequest is the /chat payload.
+type ChatRequest struct {
+	Question string `json:"question"`
+	// Graph is the uploaded graph in the graph JSON wire format (optional).
+	Graph json.RawMessage `json:"graph,omitempty"`
+}
+
+// ChatEvent is one execution progress entry in the response.
+type ChatEvent struct {
+	Type      string `json:"type"`
+	Step      string `json:"step,omitempty"`
+	Text      string `json:"text,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// ChatResponse is the /chat reply.
+type ChatResponse struct {
+	Answer    string      `json:"answer"`
+	Chain     string      `json:"chain"`
+	Kind      string      `json:"kind"`
+	Events    []ChatEvent `json:"events"`
+	ElapsedMS int64       `json:"elapsed_ms"`
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ChatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	if req.Question == "" {
+		writeError(w, http.StatusBadRequest, "question is required")
+		return
+	}
+	var g *graph.Graph
+	if len(req.Graph) > 0 {
+		var err error
+		g, err = graph.ParseJSON(req.Graph)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad graph: %v", err))
+			return
+		}
+	}
+	s.mu.Lock()
+	turn, err := s.sess.Ask(r.Context(), req.Question, g, core.AskOptions{})
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := ChatResponse{
+		Answer:    turn.Answer,
+		Chain:     turn.Chain.String(),
+		Kind:      turn.Kind.String(),
+		ElapsedMS: turn.Elapsed.Milliseconds(),
+	}
+	for _, e := range turn.Events {
+		ce := ChatEvent{Type: e.Type.String(), Text: e.Text, ElapsedMS: e.Elapsed.Milliseconds()}
+		if e.StepIndex >= 0 {
+			ce.Step = e.Step.String()
+		}
+		if e.Err != nil {
+			ce.Text = e.Err.Error()
+		}
+		resp.Events = append(resp.Events, ce)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// APIInfo is one /apis entry.
+type APIInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Category    string `json:"category"`
+}
+
+func (s *Server) handleAPIs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var out []APIInfo
+	for _, a := range s.sess.Registry().All() {
+		out = append(out, APIInfo{Name: a.Name, Description: a.Description, Category: a.Category})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	kind := graph.KindUnknown
+	switch r.URL.Query().Get("kind") {
+	case "social":
+		kind = graph.KindSocial
+	case "molecule":
+		kind = graph.KindMolecule
+	case "knowledge":
+		kind = graph.KindKnowledge
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"questions": core.SuggestedQuestions(kind)})
+}
+
+// handleConfig exposes the Fig. 3 parameter panel: the configuration the
+// session was built with (defaults when the session was assembled in code).
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if fc := s.sess.FileConfig(); fc != nil {
+		writeJSON(w, http.StatusOK, fc)
+		return
+	}
+	writeJSON(w, http.StatusOK, config.Default())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort once status is written
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// ListenAndServe runs the server until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
