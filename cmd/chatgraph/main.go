@@ -57,11 +57,12 @@ func run(graphPath, demo, llmURL, llmModel string, autoYes bool, seed int64) err
 	if llmURL != "" {
 		cfg.Client = &llm.HTTPClient{BaseURL: llmURL, Model: llmModel}
 	}
-	fmt.Println("Building ChatGraph session (training the chain model)...")
-	sess, err := core.NewSession(cfg)
+	fmt.Println("Building ChatGraph engine (training the chain model)...")
+	eng, err := core.NewEngine(cfg)
 	if err != nil {
 		return err
 	}
+	sess := eng.NewSession()
 	if g != nil {
 		fmt.Printf("Loaded graph: %s\n", g)
 	}

@@ -1,19 +1,31 @@
 // Command chatgraphd serves ChatGraph over HTTP — the offline substitute for
-// the paper's Gradio app. Endpoints: POST /chat, GET /apis, GET /suggest,
-// GET /healthz.
+// the paper's Gradio app, grown into a multi-session daemon. One engine
+// (model + retrieval index + API registry) is built at startup and shared by
+// every conversation.
+//
+// v1 endpoints: POST /v1/sessions, POST /v1/sessions/{id}/chat (add
+// ?stream=1 for NDJSON progress), GET /v1/sessions/{id}/history,
+// DELETE /v1/sessions/{id}. Legacy endpoints: POST /chat, GET /apis,
+// GET /suggest, GET /config, GET /healthz.
 //
 // Example:
 //
-//	chatgraphd -addr :8080 &
-//	curl -s localhost:8080/chat -d '{"question":"Write a brief report for G",
+//	chatgraphd -addr :8080 -session-ttl 30m &
+//	sid=$(curl -s -X POST localhost:8080/v1/sessions | jq -r .session_id)
+//	curl -s localhost:8080/v1/sessions/$sid/chat -d '{"question":"Write a brief report for G",
 //	     "graph":{"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1}]}}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"chatgraph/internal/apis"
 	"chatgraph/internal/config"
@@ -24,12 +36,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cfgPath  = flag.String("config", "", "JSON config file (see internal/config); overrides -llm/-model")
-		llmURL   = flag.String("llm", "", "OpenAI-style endpoint for chain generation (default: built-in model)")
-		llmModel = flag.String("model", "vicuna-13b", "model name sent to the -llm endpoint")
-		seed     = flag.Int64("seed", 42, "seed for training and the molecule database")
-		mols     = flag.Int("molecules", 200, "molecules to seed the similarity database with")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cfgPath     = flag.String("config", "", "JSON config file (see internal/config); overrides -llm/-model")
+		llmURL      = flag.String("llm", "", "OpenAI-style endpoint for chain generation (default: built-in model)")
+		llmModel    = flag.String("model", "vicuna-13b", "model name sent to the -llm endpoint")
+		seed        = flag.Int64("seed", 42, "seed for training and the molecule database")
+		mols        = flag.Int("molecules", 200, "molecules to seed the similarity database with")
+		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle timeout after which a v1 session expires")
+		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "cap on concurrently live v1 sessions")
+		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -38,25 +53,67 @@ func main() {
 	reg := apis.Default(env)
 	core.SeedMoleculeDB(env, *mols, rng)
 	log.Println("training chain-generation model ...")
-	var sess *core.Session
+	var eng *core.Engine
 	var err error
 	if *cfgPath != "" {
 		fc, cfgErr := config.Load(*cfgPath)
 		if cfgErr != nil {
 			log.Fatalf("chatgraphd: %v", cfgErr)
 		}
-		sess, err = core.NewSessionFromConfig(fc, reg, env, *seed)
+		eng, err = core.NewEngineFromConfig(fc, reg, env, *seed)
 	} else {
 		cfg := core.Config{Registry: reg, Env: env, TrainSeed: *seed}
 		if *llmURL != "" {
 			cfg.Client = &llm.HTTPClient{BaseURL: *llmURL, Model: *llmModel}
 		}
-		sess, err = core.NewSession(cfg)
+		eng, err = core.NewEngine(cfg)
 	}
 	if err != nil {
 		log.Fatalf("chatgraphd: %v", err)
 	}
-	srv := server.New(sess)
-	fmt.Printf("chatgraphd listening on %s (%d APIs registered)\n", *addr, reg.Len())
-	log.Fatal(srv.ListenAndServe(*addr))
+
+	srv := server.New(eng, server.Options{SessionTTL: *sessionTTL, MaxSessions: *maxSessions})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Sweep expired sessions in the background so idle daemons release
+	// memory without waiting for traffic.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// The manager resolves non-positive TTL flags to its default.
+		ticker := time.NewTicker(srv.Sessions().TTL() / 2)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if n := srv.Sessions().Sweep(); n > 0 {
+					log.Printf("expired %d idle sessions (%d live)", n, srv.Sessions().Len())
+				}
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("chatgraphd listening on %s (%d APIs registered, session ttl %s, max %d sessions)",
+		*addr, reg.Len(), *sessionTTL, *maxSessions)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("chatgraphd: %v", err)
+	case <-ctx.Done():
+		log.Printf("signal received; draining for up to %s ...", *drainWait)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("chatgraphd: shutdown: %v", err)
+		}
+		log.Println("chatgraphd stopped")
+	}
 }

@@ -1,19 +1,25 @@
-// Command evalchains regenerates experiments E7 and E8 as printed tables:
-// the rollout-search ablation, the greedy-vs-beam decoding comparison, the
-// per-task accuracy breakdown of the finetuned model, and the API-retrieval
-// hit rate. It is the table-oriented companion to `go test -bench`.
+// Command evalchains regenerates experiments E7–E9 as printed tables: the
+// rollout-search ablation, the greedy-vs-beam decoding comparison, the
+// per-task accuracy breakdown of the finetuned model, the API-retrieval hit
+// rate, and the multi-session engine throughput scaling. It is the
+// table-oriented companion to `go test -bench`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"sync"
+	"time"
 
 	"chatgraph/internal/apis"
 	"chatgraph/internal/chain"
+	"chatgraph/internal/core"
 	"chatgraph/internal/finetune"
+	"chatgraph/internal/graph"
 	"chatgraph/internal/retrieve"
 )
 
@@ -105,4 +111,47 @@ func main() {
 		fmt.Printf("%-52s %-22s %v\n", q.query, q.want, hit)
 	}
 	fmt.Printf("overall hit@5: %.3f\n", float64(hits)/float64(len(queries)))
+
+	fmt.Println("\n== E9: multi-session engine throughput (concurrent Asks, one shared engine) ==")
+	env := &apis.Env{}
+	engine, err := core.NewEngine(core.Config{
+		Registry:      apis.Default(env),
+		Env:           env,
+		TrainSeed:     *seed,
+		TrainExamples: *nTrain / 2,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalchains:", err)
+		os.Exit(1)
+	}
+	const asksPerSession = 8
+	fmt.Printf("%-10s %12s %12s\n", "sessions", "asks/sec", "wall-ms")
+	for _, nSessions := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, nSessions)
+		for i := 0; i < nSessions; i++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				sess := engine.NewSession()
+				g := graph.PlantedCommunities(2, 10, 0.5, 0.05, rand.New(rand.NewSource(seed)))
+				for j := 0; j < asksPerSession; j++ {
+					if _, err := sess.Ask(context.Background(), "Write a brief report for G", g, core.AskOptions{}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(int64(i + 1))
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			fmt.Fprintln(os.Stderr, "evalchains:", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		total := float64(nSessions * asksPerSession)
+		fmt.Printf("%-10d %12.1f %12.1f\n", nSessions, total/wall.Seconds(), float64(wall.Milliseconds()))
+	}
 }

@@ -1,7 +1,7 @@
 // Package chatgraph is the root of the ChatGraph reproduction — an LLM-based
 // framework for interacting with graphs through natural language (ICDE 2024
 // demo). The implementation lives under internal/: see internal/core for the
-// session orchestrator, DESIGN.md for the system inventory, and
+// Engine/Session orchestrator, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the paper-versus-measured record. The root package
 // holds only the benchmark harness (bench_test.go) that regenerates every
 // experiment.

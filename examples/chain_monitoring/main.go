@@ -20,10 +20,11 @@ func main() {
 	g := graph.PlantedCommunities(3, 15, 0.5, 0.02, rng)
 	g.Name = "monitored_graph"
 
-	sess, err := core.NewSession(core.Config{TrainSeed: 31})
+	eng, err := core.NewEngine(core.Config{TrainSeed: 31})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := eng.NewSession()
 
 	turn, err := sess.Ask(context.Background(), "Write a brief report for G", g, core.AskOptions{
 		// The user edits the chain before approving: centrality analysis

@@ -46,17 +46,18 @@ func main() {
 	}))
 	defer mock.Close()
 
-	// Build the session from a Fig. 3-style config with the HTTP backend.
+	// Build the engine from a Fig. 3-style config with the HTTP backend.
 	fc := config.Default()
 	fc.LLM.Backend = "http"
 	fc.LLM.BaseURL = mock.URL
 	fc.LLM.Model = "vicuna-13b"
 	fc.Finetune.Examples = 50 // retrieval still needs a (small) model-free setup
 
-	sess, err := core.NewSessionFromConfig(fc, nil, nil, 99)
+	eng, err := core.NewEngineFromConfig(fc, nil, nil, 99)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := eng.NewSession()
 
 	g := graph.PlantedCommunities(3, 12, 0.5, 0.02, rand.New(rand.NewSource(99)))
 	turn, err := sess.Ask(context.Background(), "Write a brief report for G", g, core.AskOptions{})

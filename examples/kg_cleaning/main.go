@@ -23,10 +23,11 @@ func main() {
 	fmt.Printf("injected %d wrong edges, dropped %d true edges (started from %d clean triples)\n\n",
 		len(corruption.AddedWrong), len(corruption.RemovedTrue), corruption.CleanTriples)
 
-	sess, err := core.NewSession(core.Config{TrainSeed: 23})
+	eng, err := core.NewEngine(core.Config{TrainSeed: 23})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := eng.NewSession()
 
 	// Score detection against the known corruption before cleaning.
 	precision, recall := kg.Score(kg.NewDetector().DetectIncorrect(g), corruption)

@@ -27,10 +27,11 @@ func main() {
 	query.Name = "candidate_drug"
 	env.MolDB.Add("reference_compound", query.Clone())
 
-	sess, err := core.NewSession(core.Config{Registry: reg, Env: env, TrainSeed: 11})
+	eng, err := core.NewEngine(core.Config{Registry: reg, Env: env, TrainSeed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := eng.NewSession()
 
 	turn, err := sess.Ask(context.Background(), "What molecules are similar to G?", query, core.AskOptions{})
 	if err != nil {

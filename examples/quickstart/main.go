@@ -26,12 +26,14 @@ func main() {
 		}
 	}
 
-	// A default session: built-in API registry, simulated LLM trained on
-	// the synthetic finetuning dataset.
-	sess, err := core.NewSession(core.Config{TrainSeed: 42})
+	// A default engine: built-in API registry, simulated LLM trained on
+	// the synthetic finetuning dataset. The engine is the expensive shared
+	// part; sessions minted from it are cheap per-conversation objects.
+	eng, err := core.NewEngine(core.Config{TrainSeed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := eng.NewSession()
 
 	turn, err := sess.Ask(context.Background(), "Write a brief report for G", g, core.AskOptions{})
 	if err != nil {

@@ -19,10 +19,11 @@ func main() {
 	g := graph.PlantedCommunities(4, 20, 0.45, 0.01, rng)
 	g.Name = "campus_network"
 
-	sess, err := core.NewSession(core.Config{TrainSeed: 7})
+	eng, err := core.NewEngine(core.Config{TrainSeed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := eng.NewSession()
 
 	for _, q := range []string{
 		"Write a brief report for G",

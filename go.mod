@@ -1,0 +1,3 @@
+module chatgraph
+
+go 1.22

@@ -15,11 +15,11 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"chatgraph/internal/apis"
 	"chatgraph/internal/chain"
-	"chatgraph/internal/config"
 	"chatgraph/internal/executor"
 	"chatgraph/internal/finetune"
 	"chatgraph/internal/graph"
@@ -79,90 +79,71 @@ type AskOptions struct {
 	OnEvent func(executor.Event)
 }
 
-// Session is a ChatGraph conversation. It is not safe for concurrent Ask
-// calls (each chat session is single-user, as in the demo UI); create one
-// Session per conversation.
+// Session is one ChatGraph conversation over a shared Engine: it holds only
+// the dialog history, so creating one per user is cheap. A Session
+// serializes its own Ask calls (a conversation is one dialog), but distinct
+// Sessions over the same Engine run fully concurrently. History reads never
+// wait on an in-flight Ask, so AskOptions callbacks may call History (or
+// WriteTranscript) freely.
 type Session struct {
-	registry *apis.Registry
-	env      *apis.Env
-	model    *finetune.Model
-	client   llm.Client
-	index    *retrieve.Index
-	exec     *executor.Executor
-	cfg      Config
-	history  []Turn
-	// fileConfig is set when the session was built from a config file.
-	fileConfig *config.Config
+	eng *Engine
+	// askMu serializes Ask/AskWithChain: one conversation is one dialog.
+	askMu sync.Mutex
+	// histMu guards history and is held only for appends and snapshots,
+	// never across an Ask.
+	histMu  sync.Mutex
+	history []Turn
 }
 
-// NewSession wires a Session from cfg.
+// appendTurn records a completed exchange.
+func (s *Session) appendTurn(t Turn) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	s.history = append(s.history, t)
+}
+
+// NewSession builds a fresh Engine from cfg and returns a conversation over
+// it — the original single-user constructor, kept as a compatibility shim.
+// Services that host many conversations should call NewEngine once and mint
+// sessions with Engine.NewSession instead, sharing the trained model and
+// retrieval index.
 func NewSession(cfg Config) (*Session, error) {
-	if cfg.Env == nil {
-		cfg.Env = &apis.Env{}
-	}
-	if cfg.Registry == nil {
-		cfg.Registry = apis.Default(cfg.Env)
-	}
-	if cfg.RetrievalK <= 0 {
-		cfg.RetrievalK = 6
-	}
-	if cfg.Model == nil {
-		n := cfg.TrainExamples
-		if n <= 0 {
-			n = 400
-		}
-		tc := cfg.Train
-		if tc.Epochs == 0 {
-			tc.Epochs = 2
-		}
-		if tc.Search.Rollouts == 0 {
-			tc.Search.Rollouts = 4
-		}
-		if tc.Seed == 0 {
-			tc.Seed = cfg.TrainSeed
-		}
-		rng := rand.New(rand.NewSource(cfg.TrainSeed))
-		ds := finetune.GenerateDataset(n, rng)
-		cfg.Model = finetune.Train(cfg.Registry.Names(), ds, tc)
-	}
-	if cfg.Client == nil {
-		maxLen := cfg.Prompt.MaxChainLength
-		if maxLen <= 0 {
-			maxLen = 8
-		}
-		cfg.Client = llm.NewSimClient(cfg.Model, maxLen)
-	}
-	ix, err := retrieve.New(cfg.Registry, cfg.Retrieve)
+	eng, err := NewEngine(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: build retrieval index: %w", err)
+		return nil, err
 	}
-	return &Session{
-		registry: cfg.Registry,
-		env:      cfg.Env,
-		model:    cfg.Model,
-		client:   cfg.Client,
-		index:    ix,
-		exec:     executor.New(cfg.Registry, cfg.Env),
-		cfg:      cfg,
-	}, nil
+	return eng.NewSession(), nil
 }
 
-// Registry exposes the session's API catalog.
-func (s *Session) Registry() *apis.Registry { return s.registry }
+// Engine returns the shared engine this conversation runs on.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// Registry exposes the engine's API catalog.
+func (s *Session) Registry() *apis.Registry { return s.eng.registry }
 
 // Env exposes the shared substrate environment.
-func (s *Session) Env() *apis.Env { return s.env }
+func (s *Session) Env() *apis.Env { return s.eng.env }
 
-// History returns the completed turns in order.
-func (s *Session) History() []Turn { return s.history }
+// History returns a snapshot of the completed turns in order.
+func (s *Session) History() []Turn {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	out := make([]Turn, len(s.history))
+	copy(out, s.history)
+	return out
+}
 
 // alwaysCandidates are appended to every retrieval result: the glue APIs
 // (classification, reporting, edit application) that chains need regardless
 // of what the question's topic retrieves.
 var alwaysCandidates = []string{"graph.classify", "graph.stats", "report.compose", "graph.apply_edits"}
 
-// Ask runs the full ChatGraph pipeline for one prompt.
+// Ask runs the full ChatGraph pipeline for one prompt. Concurrent Ask calls
+// on the same Session are serialized (one conversation is one dialog);
+// sessions sharing an Engine do not block each other.
 func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts AskOptions) (Turn, error) {
+	s.askMu.Lock()
+	defer s.askMu.Unlock()
 	start := time.Now()
 	turn := Turn{Question: question}
 	if strings.TrimSpace(question) == "" {
@@ -174,11 +155,11 @@ func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts
 	turn.Kind = graph.Classify(g)
 
 	// 1. API retrieval.
-	turn.Candidates = s.retrieveCandidates(question)
+	turn.Candidates = s.eng.retrieveCandidates(question)
 
 	// 2. Graph-aware prompt + chain generation.
-	msgs := llm.BuildPrompt(question, g, turn.Kind, turn.Candidates, s.index.Descriptions(), s.cfg.Prompt)
-	text, err := s.client.Complete(ctx, msgs)
+	msgs := llm.BuildPrompt(question, g, turn.Kind, turn.Candidates, s.eng.index.Descriptions(), s.eng.cfg.Prompt)
+	text, err := s.eng.client.Complete(ctx, msgs)
 	if err != nil {
 		return turn, fmt.Errorf("core: chain generation: %w", err)
 	}
@@ -190,10 +171,10 @@ func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts
 		return turn, fmt.Errorf("core: LLM produced an empty chain")
 	}
 	generated = repairChain(generated)
-	s.fillArgs(generated, question)
+	s.eng.fillArgs(generated, question)
 
 	// 3. Confirmation + execution with monitoring.
-	res, err := s.exec.Run(ctx, g, generated, executor.Options{
+	res, err := s.eng.exec.Run(ctx, g, generated, executor.Options{
 		Confirm: opts.Confirm,
 		OnEvent: func(e executor.Event) {
 			turn.Events = append(turn.Events, e)
@@ -208,20 +189,22 @@ func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts
 	turn.Chain = res.Executed
 	turn.Answer = res.Final.Text
 	turn.Elapsed = time.Since(start)
-	s.history = append(s.history, turn)
+	s.appendTurn(turn)
 	return turn, nil
 }
 
 // AskWithChain skips generation and runs a user-supplied chain — the path
 // the monitoring scenario uses after the user edits a chain by hand.
 func (s *Session) AskWithChain(ctx context.Context, question string, g *graph.Graph, c chain.Chain, opts AskOptions) (Turn, error) {
+	s.askMu.Lock()
+	defer s.askMu.Unlock()
 	start := time.Now()
 	turn := Turn{Question: question, Chain: c}
 	if g == nil {
 		g = graph.New()
 	}
 	turn.Kind = graph.Classify(g)
-	res, err := s.exec.Run(ctx, g, c, executor.Options{
+	res, err := s.eng.exec.Run(ctx, g, c, executor.Options{
 		Confirm: opts.Confirm,
 		OnEvent: func(e executor.Event) {
 			turn.Events = append(turn.Events, e)
@@ -236,14 +219,14 @@ func (s *Session) AskWithChain(ctx context.Context, question string, g *graph.Gr
 	turn.Chain = res.Executed
 	turn.Answer = res.Final.Text
 	turn.Elapsed = time.Since(start)
-	s.history = append(s.history, turn)
+	s.appendTurn(turn)
 	return turn, nil
 }
 
 // retrieveCandidates merges the top-k retrieval hits with the always-on glue
 // APIs, deduplicated, preserving relevance order.
-func (s *Session) retrieveCandidates(question string) []string {
-	hits := s.index.Names(question, s.cfg.RetrievalK)
+func (e *Engine) retrieveCandidates(question string) []string {
+	hits := e.index.Names(question, e.cfg.RetrievalK)
 	seen := make(map[string]bool, len(hits)+len(alwaysCandidates))
 	out := make([]string, 0, len(hits)+len(alwaysCandidates))
 	for _, h := range hits {
@@ -253,7 +236,7 @@ func (s *Session) retrieveCandidates(question string) []string {
 		}
 	}
 	for _, a := range alwaysCandidates {
-		if _, ok := s.registry.Get(a); ok && !seen[a] {
+		if _, ok := e.registry.Get(a); ok && !seen[a] {
 			seen[a] = true
 			out = append(out, a)
 		}
@@ -264,10 +247,10 @@ func (s *Session) retrieveCandidates(question string) []string {
 // fillArgs patches required arguments the argless generated chain needs,
 // extracting them from the question: node IDs for path/edit APIs, an
 // explicit top-k for similarity search.
-func (s *Session) fillArgs(c chain.Chain, question string) {
+func (e *Engine) fillArgs(c chain.Chain, question string) {
 	nums := extractInts(question)
 	for i := range c {
-		a, ok := s.registry.Get(c[i].API)
+		a, ok := e.registry.Get(c[i].API)
 		if !ok {
 			continue
 		}

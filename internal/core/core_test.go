@@ -230,7 +230,7 @@ func TestHistoryAccumulates(t *testing.T) {
 func TestFillArgsFromQuestion(t *testing.T) {
 	s := session(t)
 	c := chain.Chain{chain.NewStep("path.shortest")}
-	s.fillArgs(c, "what is the shortest path from node 3 to node 7")
+	s.Engine().fillArgs(c, "what is the shortest path from node 3 to node 7")
 	if c[0].Args["from"] != "3" || c[0].Args["to"] != "7" {
 		t.Fatalf("args = %v", c[0].Args)
 	}
@@ -246,7 +246,7 @@ func TestPathQuestionEndToEnd(t *testing.T) {
 		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1)) //nolint:errcheck
 	}
 	c := chain.Chain{chain.NewStep("path.shortest")}
-	s.fillArgs(c, "shortest path from 0 to 5")
+	s.Engine().fillArgs(c, "shortest path from 0 to 5")
 	turn, err := s.AskWithChain(context.Background(), "shortest path from 0 to 5", g, c, AskOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -280,7 +280,7 @@ func TestSuggestedQuestionsPerKind(t *testing.T) {
 
 func TestRetrieveCandidatesIncludeGlue(t *testing.T) {
 	s := session(t)
-	cands := s.retrieveCandidates("detect communities")
+	cands := s.Engine().retrieveCandidates("detect communities")
 	hasClassify := false
 	for _, c := range cands {
 		if c == "graph.classify" {

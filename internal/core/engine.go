@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/config"
+	"chatgraph/internal/executor"
+	"chatgraph/internal/finetune"
+	"chatgraph/internal/llm"
+	"chatgraph/internal/retrieve"
+)
+
+// Engine is the immutable, concurrency-safe bundle of everything expensive
+// that ChatGraph conversations share: the API registry, the substrate
+// environment, the finetuned chain-generation model, the τ-MG retrieval
+// index, the LLM client, and the chain executor. Build one Engine per
+// process (training the model and building the index happen here) and mint
+// cheap per-conversation Sessions from it with NewSession. All Engine state
+// is read-only after construction, so any number of Sessions may Ask
+// concurrently against the same Engine.
+type Engine struct {
+	registry *apis.Registry
+	env      *apis.Env
+	model    *finetune.Model
+	client   llm.Client
+	index    *retrieve.Index
+	exec     *executor.Executor
+	cfg      Config
+	// fileConfig is set when the engine was built from a config file.
+	fileConfig *config.Config
+}
+
+// NewEngine builds the shared engine from cfg, applying the same defaults
+// NewSession always has: a Default registry over a fresh Env, a model
+// trained on a generated dataset, a SimClient over that model, and a τ-MG
+// retrieval index over the registry descriptions.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Env == nil {
+		cfg.Env = &apis.Env{}
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = apis.Default(cfg.Env)
+	}
+	if cfg.RetrievalK <= 0 {
+		cfg.RetrievalK = 6
+	}
+	if cfg.Model == nil {
+		n := cfg.TrainExamples
+		if n <= 0 {
+			n = 400
+		}
+		tc := cfg.Train
+		if tc.Epochs == 0 {
+			tc.Epochs = 2
+		}
+		if tc.Search.Rollouts == 0 {
+			tc.Search.Rollouts = 4
+		}
+		if tc.Seed == 0 {
+			tc.Seed = cfg.TrainSeed
+		}
+		rng := rand.New(rand.NewSource(cfg.TrainSeed))
+		ds := finetune.GenerateDataset(n, rng)
+		cfg.Model = finetune.Train(cfg.Registry.Names(), ds, tc)
+	}
+	if cfg.Client == nil {
+		maxLen := cfg.Prompt.MaxChainLength
+		if maxLen <= 0 {
+			maxLen = 8
+		}
+		cfg.Client = llm.NewSimClient(cfg.Model, maxLen)
+	}
+	ix, err := retrieve.New(cfg.Registry, cfg.Retrieve)
+	if err != nil {
+		return nil, fmt.Errorf("core: build retrieval index: %w", err)
+	}
+	return &Engine{
+		registry: cfg.Registry,
+		env:      cfg.Env,
+		model:    cfg.Model,
+		client:   cfg.Client,
+		index:    ix,
+		exec:     executor.New(cfg.Registry, cfg.Env),
+		cfg:      cfg,
+	}, nil
+}
+
+// NewEngineFromConfig builds an Engine from the Fig. 3-style parameter set:
+// ANN parameters shape the retrieval index, sequentializer parameters shape
+// the prompt, finetuning parameters shape model training, and the LLM block
+// selects the generation backend. registry/env may be nil for defaults.
+func NewEngineFromConfig(fc config.Config, registry *apis.Registry, env *apis.Env, seed int64) (*Engine, error) {
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Registry:   registry,
+		Env:        env,
+		RetrievalK: fc.ANN.TopK,
+		Retrieve: retrieve.Config{
+			Dim: fc.ANN.Dim,
+			Tau: float32(fc.ANN.Tau),
+		},
+		Prompt: llm.PromptConfig{
+			MaxPathLines:   fc.Sequentializer.MaxPathLines,
+			PathLength:     fc.Sequentializer.MaxPathLength,
+			MaxChainLength: fc.LLM.MaxChainLength,
+		},
+		TrainSeed:     seed,
+		TrainExamples: fc.Finetune.Examples,
+		Train: finetune.TrainConfig{
+			Epochs: fc.Finetune.Epochs,
+			Search: finetune.SearchConfig{
+				Rollouts: fc.Finetune.Rollouts,
+				Alpha:    fc.Finetune.Alpha,
+			},
+			Seed: seed,
+		},
+	}
+	if fc.LLM.Backend == "http" {
+		cfg.Client = &llm.HTTPClient{
+			BaseURL:     fc.LLM.BaseURL,
+			Model:       fc.LLM.Model,
+			Temperature: fc.LLM.Temperature,
+		}
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.fileConfig = &fc
+	return e, nil
+}
+
+// NewSession mints a lightweight conversation over the shared engine. It
+// allocates only history bookkeeping; any number of sessions created this
+// way may Ask concurrently.
+func (e *Engine) NewSession() *Session {
+	return &Session{eng: e}
+}
+
+// Registry exposes the engine's API catalog.
+func (e *Engine) Registry() *apis.Registry { return e.registry }
+
+// Env exposes the shared substrate environment.
+func (e *Engine) Env() *apis.Env { return e.env }
+
+// Model exposes the chain-generation model the engine was built with.
+func (e *Engine) Model() *finetune.Model { return e.model }
+
+// FileConfig returns the config.Config the engine was built from, or nil
+// when it was assembled programmatically.
+func (e *Engine) FileConfig() *config.Config { return e.fileConfig }

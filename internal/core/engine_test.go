@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chatgraph/internal/executor"
+	"chatgraph/internal/graph"
+)
+
+// TestEngineSharedConcurrentSessions is the keystone concurrency contract:
+// N sessions minted from one engine run Ask in parallel with no data race
+// (run under -race) and each accumulates only its own history.
+func TestEngineSharedConcurrentSessions(t *testing.T) {
+	eng := session(t).Engine()
+	const nSessions, asksEach = 4, 3
+	sessions := make([]*Session, nSessions)
+	for i := range sessions {
+		sessions[i] = eng.NewSession()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, nSessions)
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			g := graph.PlantedCommunities(2, 8, 0.6, 0.05, rand.New(rand.NewSource(int64(i+1))))
+			for j := 0; j < asksEach; j++ {
+				if _, err := s.Ask(context.Background(), "Write a brief report for G", g, AskOptions{}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sessions {
+		if got := len(s.History()); got != asksEach {
+			t.Fatalf("session %d history = %d turns, want %d", i, got, asksEach)
+		}
+	}
+}
+
+func TestEngineSessionIsolation(t *testing.T) {
+	eng := session(t).Engine()
+	a, b := eng.NewSession(), eng.NewSession()
+	if a.Engine() != eng || b.Engine() != eng {
+		t.Fatal("sessions do not share the engine")
+	}
+	g := graph.New()
+	g.AddNode("x")
+	if _, err := a.Ask(context.Background(), "Summarize the statistics of the graph", g, AskOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.History()) != 1 {
+		t.Fatalf("a history = %d", len(a.History()))
+	}
+	if len(b.History()) != 0 {
+		t.Fatalf("b history leaked %d turns from a", len(b.History()))
+	}
+	if a.Registry() != eng.Registry() || a.Env() != eng.Env() {
+		t.Fatal("session accessors do not delegate to the engine")
+	}
+}
+
+// TestHistoryDuringAsk confirms AskOptions callbacks (which run while the
+// Ask serialization lock is held) can still read the session: History must
+// not wait on an in-flight Ask.
+func TestHistoryDuringAsk(t *testing.T) {
+	s := session(t).Engine().NewSession()
+	g := graph.New()
+	g.AddNode("x")
+	sawHistory := -1
+	if _, err := s.Ask(context.Background(), "Summarize the statistics of the graph", g, AskOptions{
+		OnEvent: func(executor.Event) {
+			if sawHistory < 0 {
+				sawHistory = len(s.History())
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sawHistory != 0 {
+		t.Fatalf("History() inside OnEvent = %d turns, want 0 (turn not yet committed)", sawHistory)
+	}
+}
+
+// TestNewSessionShim confirms the one-call compatibility constructor still
+// produces a working conversation backed by its own engine.
+func TestNewSessionShim(t *testing.T) {
+	s, err := NewSession(Config{TrainSeed: 9, TrainExamples: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine() == nil || s.Engine().Model() == nil {
+		t.Fatal("shim session has no engine")
+	}
+	if s.FileConfig() != nil {
+		t.Fatal("programmatic session reports a file config")
+	}
+}

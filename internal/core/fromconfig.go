@@ -3,58 +3,20 @@ package core
 import (
 	"chatgraph/internal/apis"
 	"chatgraph/internal/config"
-	"chatgraph/internal/finetune"
-	"chatgraph/internal/llm"
-	"chatgraph/internal/retrieve"
 )
 
-// NewSessionFromConfig builds a Session from the Fig. 3-style parameter set:
-// ANN parameters shape the retrieval index, sequentializer parameters shape
-// the prompt, finetuning parameters shape model training, and the LLM block
-// selects the generation backend. registry/env may be nil for defaults.
+// NewSessionFromConfig builds a single conversation over a fresh Engine
+// configured from the Fig. 3-style parameter set — the compatibility shim
+// for callers that host exactly one conversation. Multi-user services
+// should call NewEngineFromConfig once and mint sessions from the engine.
 func NewSessionFromConfig(fc config.Config, registry *apis.Registry, env *apis.Env, seed int64) (*Session, error) {
-	if err := fc.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := Config{
-		Registry:   registry,
-		Env:        env,
-		RetrievalK: fc.ANN.TopK,
-		Retrieve: retrieve.Config{
-			Dim: fc.ANN.Dim,
-			Tau: float32(fc.ANN.Tau),
-		},
-		Prompt: llm.PromptConfig{
-			MaxPathLines:   fc.Sequentializer.MaxPathLines,
-			PathLength:     fc.Sequentializer.MaxPathLength,
-			MaxChainLength: fc.LLM.MaxChainLength,
-		},
-		TrainSeed:     seed,
-		TrainExamples: fc.Finetune.Examples,
-		Train: finetune.TrainConfig{
-			Epochs: fc.Finetune.Epochs,
-			Search: finetune.SearchConfig{
-				Rollouts: fc.Finetune.Rollouts,
-				Alpha:    fc.Finetune.Alpha,
-			},
-			Seed: seed,
-		},
-	}
-	if fc.LLM.Backend == "http" {
-		cfg.Client = &llm.HTTPClient{
-			BaseURL:     fc.LLM.BaseURL,
-			Model:       fc.LLM.Model,
-			Temperature: fc.LLM.Temperature,
-		}
-	}
-	s, err := NewSession(cfg)
+	eng, err := NewEngineFromConfig(fc, registry, env, seed)
 	if err != nil {
 		return nil, err
 	}
-	s.fileConfig = &fc
-	return s, nil
+	return eng.NewSession(), nil
 }
 
-// FileConfig returns the config.Config the session was built from, or nil
-// when it was assembled programmatically.
-func (s *Session) FileConfig() *config.Config { return s.fileConfig }
+// FileConfig returns the config.Config the session's engine was built from,
+// or nil when it was assembled programmatically.
+func (s *Session) FileConfig() *config.Config { return s.eng.fileConfig }

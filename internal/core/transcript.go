@@ -32,7 +32,7 @@ type transcript struct {
 // WriteTranscript serializes the session history as JSON.
 func (s *Session) WriteTranscript(w io.Writer) error {
 	t := transcript{Version: 1}
-	for _, turn := range s.history {
+	for _, turn := range s.History() {
 		t.Turns = append(t.Turns, transcriptTurn{
 			Question:  turn.Question,
 			Kind:      turn.Kind.String(),
@@ -83,6 +83,8 @@ func (s *Session) ReadTranscript(r io.Reader) (int, error) {
 	if t.Version != 1 {
 		return 0, fmt.Errorf("core: unsupported transcript version %d", t.Version)
 	}
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
 	restored := 0
 	for i, tt := range t.Turns {
 		c, err := chain.Parse(tt.Chain)

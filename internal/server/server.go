@@ -1,37 +1,70 @@
-// Package server exposes a ChatGraph session over HTTP with JSON endpoints
-// mirroring the three panels of the paper's Gradio interface (Fig. 2):
-// the dialog (POST /chat), the suggested questions (GET /suggest), and graph
-// upload (the graph travels inline in the /chat payload). GET /apis lists
-// the registry for the configuration view (Fig. 3).
+// Package server exposes a shared ChatGraph engine over HTTP. The v1 REST
+// surface is multi-session: POST /v1/sessions mints a conversation, each
+// conversation chats at POST /v1/sessions/{id}/chat (add ?stream=1 for
+// NDJSON progress streaming), reads its dialog at GET
+// /v1/sessions/{id}/history, and ends at DELETE /v1/sessions/{id}. Sessions
+// idle past the manager's TTL expire automatically. The single-conversation
+// endpoints mirroring the paper's Gradio panels (Fig. 2/3) remain: POST
+// /chat (one shared legacy conversation), GET /suggest, GET /apis,
+// GET /config, GET /healthz. All state shared between conversations lives
+// in the immutable core.Engine, so handlers lock per session only and N
+// users chat concurrently.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
 	"time"
 
 	"chatgraph/internal/config"
 	"chatgraph/internal/core"
+	"chatgraph/internal/executor"
 	"chatgraph/internal/graph"
 )
 
-// Server wraps a Session with HTTP handlers. A mutex serializes Ask calls
-// because a chat session is a single conversation.
+// Options tunes the server.
+type Options struct {
+	// SessionTTL is how long an idle session lives (0 → DefaultSessionTTL).
+	SessionTTL time.Duration
+	// MaxSessions caps live sessions (0 → DefaultMaxSessions).
+	MaxSessions int
+}
+
+// Server routes HTTP traffic onto a shared core.Engine. Conversation state
+// lives in per-session objects managed by the SessionManager; the engine
+// itself is immutable, so no server-wide lock exists on the chat path.
 type Server struct {
-	mu   sync.Mutex
-	sess *core.Session
+	eng *core.Engine
+	mgr *SessionManager
+	// legacy backs the pre-v1 single-conversation POST /chat endpoint.
+	legacy *core.Session
 }
 
-// New returns a Server over sess.
-func New(sess *core.Session) *Server {
-	return &Server{sess: sess}
+// New returns a Server over eng.
+func New(eng *core.Engine, opts Options) *Server {
+	return &Server{
+		eng:    eng,
+		mgr:    NewSessionManager(eng, opts.SessionTTL, opts.MaxSessions),
+		legacy: eng.NewSession(),
+	}
 }
 
-// Handler returns the route table.
+// Sessions exposes the session manager (daemons wire flags and sweepers to
+// it; tests inspect it).
+func (s *Server) Sessions() *SessionManager { return s.mgr }
+
+// Handler returns the route table wrapped with request-ID tagging.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// v1 multi-session surface.
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/chat", s.handleSessionChat)
+	mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleSessionHistory)
+	// Legacy single-conversation surface.
 	mux.HandleFunc("/chat", s.handleChat)
 	mux.HandleFunc("/apis", s.handleAPIs)
 	mux.HandleFunc("/suggest", s.handleSuggest)
@@ -39,10 +72,167 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return withRequestID(mux)
 }
 
-// ChatRequest is the /chat payload.
+// requestIDKey carries the per-request correlation ID in the context.
+type requestIDKey struct{}
+
+// withRequestID tags every request with a random correlation ID, echoed in
+// the X-Request-ID response header and in error JSON.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = randomHex(8)
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// SessionInfo describes one live session on the wire.
+type SessionInfo struct {
+	SessionID string    `json:"session_id"`
+	CreatedAt time.Time `json:"created_at"`
+	ExpiresAt time.Time `json:"expires_at"`
+	Turns     int       `json:"turns"`
+}
+
+func (s *Server) sessionInfo(m *managed) SessionInfo {
+	return SessionInfo{
+		SessionID: m.ID,
+		CreatedAt: m.Created,
+		ExpiresAt: m.idleSince().Add(s.mgr.TTL()),
+		Turns:     len(m.Session.History()),
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	m, err := s.mgr.Create()
+	if err != nil {
+		writeError(w, r, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.sessionInfo(m))
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	s.mgr.Sweep()
+	out := []SessionInfo{}
+	s.mgr.sessions.Range(func(_, value any) bool {
+		out = append(out, s.sessionInfo(value.(*managed)))
+		return true
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.Delete(r.PathValue("id")) {
+		writeError(w, r, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleSessionHistory(w http.ResponseWriter, r *http.Request) {
+	m, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, http.StatusNotFound, "no such session")
+		return
+	}
+	turns := []HistoryTurn{}
+	for _, t := range m.Session.History() {
+		turns = append(turns, HistoryTurn{
+			Question:  t.Question,
+			Kind:      t.Kind.String(),
+			Chain:     t.Chain.String(),
+			Answer:    t.Answer,
+			ElapsedMS: t.Elapsed.Milliseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session_id": m.ID, "turns": turns})
+}
+
+// HistoryTurn is one dialog exchange in the /history reply.
+type HistoryTurn struct {
+	Question  string `json:"question"`
+	Kind      string `json:"kind"`
+	Chain     string `json:"chain"`
+	Answer    string `json:"answer"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSessionChat(w http.ResponseWriter, r *http.Request) {
+	m, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, http.StatusNotFound, "no such session")
+		return
+	}
+	q, g, ok := decodeChat(w, r)
+	if !ok {
+		return
+	}
+	stream := r.URL.Query().Get("stream")
+	if stream == "1" || stream == "true" {
+		s.streamChat(w, r, m.Session, q, g)
+		return
+	}
+	turn, err := m.Session.Ask(r.Context(), q, g, core.AskOptions{})
+	if err != nil {
+		writeError(w, r, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, chatResponse(turn))
+}
+
+// streamChat answers one Ask as NDJSON: one line per execution event as it
+// happens, then a final "result" (or "error") line.
+func (s *Server) streamChat(w http.ResponseWriter, r *http.Request, sess *core.Session, q string, g *graph.Graph) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeLine := func(v any) {
+		enc.Encode(v) //nolint:errcheck // best effort once streaming
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	turn, err := sess.Ask(r.Context(), q, g, core.AskOptions{
+		OnEvent: func(e executor.Event) {
+			writeLine(chatEventOf(e))
+		},
+	})
+	if err != nil {
+		writeLine(streamError{Type: "error", Error: err.Error(), RequestID: requestID(r)})
+		return
+	}
+	resp := chatResponse(turn)
+	resp.Events = nil // already streamed line by line
+	writeLine(streamResult{Type: "result", Result: resp})
+}
+
+// streamResult is the final NDJSON line of a successful streamed chat.
+type streamResult struct {
+	Type   string       `json:"type"`
+	Result ChatResponse `json:"result"`
+}
+
+// streamError is the final NDJSON line of a failed streamed chat.
+type streamError struct {
+	Type      string `json:"type"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id"`
+}
+
+// ChatRequest is the chat payload (legacy /chat and /v1 .../chat).
 type ChatRequest struct {
 	Question string `json:"question"`
 	// Graph is the uploaded graph in the graph JSON wire format (optional).
@@ -57,45 +247,51 @@ type ChatEvent struct {
 	ElapsedMS int64  `json:"elapsed_ms"`
 }
 
-// ChatResponse is the /chat reply.
+// ChatResponse is the chat reply.
 type ChatResponse struct {
 	Answer    string      `json:"answer"`
 	Chain     string      `json:"chain"`
 	Kind      string      `json:"kind"`
-	Events    []ChatEvent `json:"events"`
+	Events    []ChatEvent `json:"events,omitempty"`
 	ElapsedMS int64       `json:"elapsed_ms"`
 }
 
-func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
+// decodeChat parses and validates a chat body, writing the error response
+// itself when ok is false.
+func decodeChat(w http.ResponseWriter, r *http.Request) (question string, g *graph.Graph, ok bool) {
 	var req ChatRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
-		return
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return "", nil, false
 	}
 	if req.Question == "" {
-		writeError(w, http.StatusBadRequest, "question is required")
-		return
+		writeError(w, r, http.StatusBadRequest, "question is required")
+		return "", nil, false
 	}
-	var g *graph.Graph
 	if len(req.Graph) > 0 {
 		var err error
 		g, err = graph.ParseJSON(req.Graph)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad graph: %v", err))
-			return
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad graph: %v", err))
+			return "", nil, false
 		}
 	}
-	s.mu.Lock()
-	turn, err := s.sess.Ask(r.Context(), req.Question, g, core.AskOptions{})
-	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+	return req.Question, g, true
+}
+
+// chatEventOf converts an execution event to its wire form.
+func chatEventOf(e executor.Event) ChatEvent {
+	ce := ChatEvent{Type: e.Type.String(), Text: e.Text, ElapsedMS: e.Elapsed.Milliseconds()}
+	if e.StepIndex >= 0 {
+		ce.Step = e.Step.String()
 	}
+	if e.Err != nil {
+		ce.Text = e.Err.Error()
+	}
+	return ce
+}
+
+func chatResponse(turn core.Turn) ChatResponse {
 	resp := ChatResponse{
 		Answer:    turn.Answer,
 		Chain:     turn.Chain.String(),
@@ -103,16 +299,28 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: turn.Elapsed.Milliseconds(),
 	}
 	for _, e := range turn.Events {
-		ce := ChatEvent{Type: e.Type.String(), Text: e.Text, ElapsedMS: e.Elapsed.Milliseconds()}
-		if e.StepIndex >= 0 {
-			ce.Step = e.Step.String()
-		}
-		if e.Err != nil {
-			ce.Text = e.Err.Error()
-		}
-		resp.Events = append(resp.Events, ce)
+		resp.Events = append(resp.Events, chatEventOf(e))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	q, g, ok := decodeChat(w, r)
+	if !ok {
+		return
+	}
+	// The legacy endpoint is one shared conversation; Session serializes
+	// its own Ask calls, so no server-level lock is needed.
+	turn, err := s.legacy.Ask(r.Context(), q, g, core.AskOptions{})
+	if err != nil {
+		writeError(w, r, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, chatResponse(turn))
 }
 
 // APIInfo is one /apis entry.
@@ -124,11 +332,11 @@ type APIInfo struct {
 
 func (s *Server) handleAPIs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	var out []APIInfo
-	for _, a := range s.sess.Registry().All() {
+	for _, a := range s.eng.Registry().All() {
 		out = append(out, APIInfo{Name: a.Name, Description: a.Description, Category: a.Category})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -136,29 +344,34 @@ func (s *Server) handleAPIs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	kind := graph.KindUnknown
-	switch r.URL.Query().Get("kind") {
+	switch v := r.URL.Query().Get("kind"); v {
+	case "", "unknown":
+		// No uploaded graph yet: generic suggestions.
 	case "social":
 		kind = graph.KindSocial
 	case "molecule":
 		kind = graph.KindMolecule
 	case "knowledge":
 		kind = graph.KindKnowledge
+	default:
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("unknown kind %q (want social, molecule, knowledge, or unknown)", v))
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string][]string{"questions": core.SuggestedQuestions(kind)})
 }
 
 // handleConfig exposes the Fig. 3 parameter panel: the configuration the
-// session was built with (defaults when the session was assembled in code).
+// engine was built with (defaults when it was assembled in code).
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	if fc := s.sess.FileConfig(); fc != nil {
+	if fc := s.eng.FileConfig(); fc != nil {
 		writeJSON(w, http.StatusOK, fc)
 		return
 	}
@@ -173,11 +386,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // best effort once status is written
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// errorBody is the JSON shape of every error reply.
+type errorBody struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id"`
 }
 
-// ListenAndServe runs the server until the listener fails.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, RequestID: requestID(r)})
+}
+
+// ListenAndServe runs the server until the listener fails. Daemons that
+// need graceful shutdown should build their own http.Server around
+// Handler() instead.
 func (s *Server) ListenAndServe(addr string) error {
 	srv := &http.Server{
 		Addr:              addr,

@@ -17,8 +17,9 @@ import (
 )
 
 var (
-	srvOnce sync.Once
-	srvTest *httptest.Server
+	srvOnce   sync.Once
+	srvTest   *httptest.Server
+	srvEngine *core.Engine
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -27,11 +28,12 @@ func testServer(t *testing.T) *httptest.Server {
 		env := &apis.Env{}
 		reg := apis.Default(env)
 		core.SeedMoleculeDB(env, 30, rand.New(rand.NewSource(1)))
-		sess, err := core.NewSession(core.Config{Registry: reg, Env: env, TrainSeed: 1, TrainExamples: 250})
+		eng, err := core.NewEngine(core.Config{Registry: reg, Env: env, TrainSeed: 1, TrainExamples: 250})
 		if err != nil {
 			panic(err)
 		}
-		srvTest = httptest.NewServer(New(sess).Handler())
+		srvEngine = eng
+		srvTest = httptest.NewServer(New(eng, Options{}).Handler())
 	})
 	return srvTest
 }

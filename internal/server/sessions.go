@@ -1,0 +1,157 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chatgraph/internal/core"
+)
+
+// DefaultSessionTTL is how long an idle session survives when Options does
+// not say otherwise.
+const DefaultSessionTTL = 30 * time.Minute
+
+// DefaultMaxSessions caps live sessions when Options does not say otherwise.
+const DefaultMaxSessions = 4096
+
+// ErrTooManySessions is returned by Create when the manager is at capacity
+// even after expiring idle sessions.
+var ErrTooManySessions = fmt.Errorf("server: session limit reached")
+
+// ErrNoSession is returned by Get for unknown or expired session IDs.
+var ErrNoSession = fmt.Errorf("server: no such session")
+
+// managed is one live conversation plus its bookkeeping.
+type managed struct {
+	ID      string
+	Session *core.Session
+	Created time.Time
+	// lastUsed is unix nanoseconds, advanced on every touch.
+	lastUsed atomic.Int64
+}
+
+func (m *managed) touch(now time.Time)        { m.lastUsed.Store(now.UnixNano()) }
+func (m *managed) idleSince() time.Time       { return time.Unix(0, m.lastUsed.Load()) }
+func (m *managed) expired(now time.Time, ttl time.Duration) bool {
+	return now.Sub(m.idleSince()) > ttl
+}
+
+// SessionManager mints, finds, and expires per-conversation sessions over
+// one shared Engine. The registry is a sync.Map so session lookups on the
+// hot chat path never contend with each other; only the live-session count
+// is shared, as an atomic. Expiry is lazy (checked on every access) plus a
+// sweep on each Create, so no janitor goroutine is required — long-lived
+// daemons may still run one via Sweep.
+type SessionManager struct {
+	eng *core.Engine
+	ttl time.Duration
+	max int
+
+	sessions sync.Map // id → *managed
+	count    atomic.Int64
+	// createMu makes the capacity check-then-insert atomic so a burst of
+	// creates cannot overshoot max.
+	createMu sync.Mutex
+}
+
+// NewSessionManager returns a manager minting sessions from eng. ttl ≤ 0
+// uses DefaultSessionTTL; max ≤ 0 uses DefaultMaxSessions.
+func NewSessionManager(eng *core.Engine, ttl time.Duration, max int) *SessionManager {
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	if max <= 0 {
+		max = DefaultMaxSessions
+	}
+	return &SessionManager{eng: eng, ttl: ttl, max: max}
+}
+
+// TTL reports the idle timeout sessions are expired after.
+func (sm *SessionManager) TTL() time.Duration { return sm.ttl }
+
+// Len reports the number of live (possibly idle-but-unexpired) sessions.
+func (sm *SessionManager) Len() int { return int(sm.count.Load()) }
+
+// Create mints a new session, expiring idle ones first if at capacity.
+func (sm *SessionManager) Create() (*managed, error) {
+	sm.createMu.Lock()
+	defer sm.createMu.Unlock()
+	if int(sm.count.Load()) >= sm.max {
+		sm.Sweep()
+		if int(sm.count.Load()) >= sm.max {
+			return nil, ErrTooManySessions
+		}
+	}
+	now := time.Now()
+	m := &managed{
+		ID:      newSessionID(),
+		Session: sm.eng.NewSession(),
+		Created: now,
+	}
+	m.touch(now)
+	sm.sessions.Store(m.ID, m)
+	sm.count.Add(1)
+	return m, nil
+}
+
+// Get returns the live session with the given ID, touching its idle clock.
+// Expired sessions are removed on sight and reported as ErrNoSession.
+func (sm *SessionManager) Get(id string) (*managed, error) {
+	v, ok := sm.sessions.Load(id)
+	if !ok {
+		return nil, ErrNoSession
+	}
+	m := v.(*managed)
+	now := time.Now()
+	if m.expired(now, sm.ttl) {
+		sm.remove(id)
+		return nil, ErrNoSession
+	}
+	m.touch(now)
+	return m, nil
+}
+
+// Delete removes the session with the given ID, reporting whether it was
+// live.
+func (sm *SessionManager) Delete(id string) bool { return sm.remove(id) }
+
+// Sweep removes every expired session and returns how many it removed.
+func (sm *SessionManager) Sweep() int {
+	now := time.Now()
+	removed := 0
+	sm.sessions.Range(func(key, value any) bool {
+		if value.(*managed).expired(now, sm.ttl) {
+			if sm.remove(key.(string)) {
+				removed++
+			}
+		}
+		return true
+	})
+	return removed
+}
+
+func (sm *SessionManager) remove(id string) bool {
+	if _, loaded := sm.sessions.LoadAndDelete(id); loaded {
+		sm.count.Add(-1)
+		return true
+	}
+	return false
+}
+
+// newSessionID returns a 128-bit random hex session identifier.
+func newSessionID() string { return randomHex(16) }
+
+// randomHex returns 2n hex characters of crypto/rand entropy.
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; panic beats
+		// silently handing out colliding IDs.
+		panic(fmt.Sprintf("server: id entropy: %v", err))
+	}
+	return hex.EncodeToString(b)
+}
