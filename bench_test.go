@@ -261,6 +261,74 @@ func BenchmarkANNHNSW(b *testing.B) {
 	})
 }
 
+// BenchmarkANNSearchBatch is the E10 ANN side: the one-query-at-a-time
+// Search loop versus SearchBatch's worker-pool fan-out over one shared
+// index. On multi-core hosts the batch path approaches loop-qps × cores;
+// b.ReportAllocs makes the ~0 allocs/op of the scratch-pooled graph search
+// visible in the same table.
+func BenchmarkANNSearchBatch(b *testing.B) {
+	vecs, queries := annData()
+	idx, err := ann.NewTauMG(vecs, ann.TauMGConfig{Tau: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx.SearchBatch(queries, annK) // warm the scratch/worker pools
+	b.Run("loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				idx.Search(q, annK)
+			}
+		}
+		b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.SearchBatch(queries, annK)
+		}
+		b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
+// BenchmarkRetrievalBatch measures the full batched retrieval path —
+// EmbedBatch + SearchBatch + ranking — against the sequential TopAPIs loop
+// over the same queries.
+func BenchmarkRetrievalBatch(b *testing.B) {
+	reg := apis.Default(nil)
+	ix, err := retrieve.New(reg, retrieve.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []string{
+		"find the communities of the social network",
+		"who is the most influential node",
+		"how toxic is this molecule",
+		"find similar molecules in the database",
+		"clean the knowledge graph noise",
+		"shortest path between two nodes",
+		"count the triangles of the network",
+		"what is the molecular formula",
+	}
+	ix.TopAPIsBatch(queries, 5) // warm the pools
+	b.Run("loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				ix.TopAPIs(q, 5)
+			}
+		}
+		b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.TopAPIsBatch(queries, 5)
+		}
+		b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
 // BenchmarkANNGreedyRouting compares the paper's single-path greedy routing
 // across proximity graphs — τ-MG's selling point is fewer routing hops at
 // equal accuracy. The τ-MG monotonicity guarantee applies to queries whose

@@ -1,8 +1,9 @@
-// Command evalchains regenerates experiments E7–E9 as printed tables: the
+// Command evalchains regenerates experiments E7–E10 as printed tables: the
 // rollout-search ablation, the greedy-vs-beam decoding comparison, the
 // per-task accuracy breakdown of the finetuned model, the API-retrieval hit
-// rate, and the multi-session engine throughput scaling. It is the
-// table-oriented companion to `go test -bench`.
+// rate, the multi-session engine throughput scaling, and the batched
+// retrieval throughput. It is the table-oriented companion to
+// `go test -bench`.
 package main
 
 import (
@@ -153,5 +154,56 @@ func main() {
 		wall := time.Since(start)
 		total := float64(nSessions * asksPerSession)
 		fmt.Printf("%-10d %12.1f %12.1f\n", nSessions, total/wall.Seconds(), float64(wall.Milliseconds()))
+	}
+
+	fmt.Println("\n== E10: batched retrieval throughput (TopAPIsBatch vs one-query-at-a-time loop) ==")
+	// A padded registry pushes retrieval onto the τ-MG proximity-graph path
+	// so the table measures the production index, not the tiny-registry
+	// brute-force fallback.
+	padded := apis.Default(nil)
+	for i := 0; padded.Len() < 512; i++ {
+		name := fmt.Sprintf("pad.api%d", i)
+		if err := padded.Register(apis.API{
+			Name:        name,
+			Description: fmt.Sprintf("synthetic padding operation %d for batched retrieval scale testing", i),
+			Category:    "util",
+			Fn:          func(apis.Input) (apis.Output, error) { return apis.Output{Text: "pad"}, nil },
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "evalchains:", err)
+			os.Exit(1)
+		}
+	}
+	bix, err := retrieve.New(padded, retrieve.Config{ExactThreshold: 16, Tau: 0.05})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalchains:", err)
+		os.Exit(1)
+	}
+	baseQueries := make([]string, 0, len(queries))
+	for _, q := range queries {
+		baseQueries = append(baseQueries, q.query)
+	}
+	bix.TopAPIsBatch(baseQueries, 5) // warm the scratch/worker pools
+	fmt.Printf("%-10s %12s %12s %9s\n", "batch", "loop-qps", "batch-qps", "speedup")
+	for _, batchSize := range []int{1, 8, 32, 128} {
+		qs := make([]string, batchSize)
+		for i := range qs {
+			qs[i] = baseQueries[i%len(baseQueries)]
+		}
+		const rounds = 20
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, q := range qs {
+				bix.TopAPIs(q, 5)
+			}
+		}
+		loop := time.Since(start)
+		start = time.Now()
+		for r := 0; r < rounds; r++ {
+			bix.TopAPIsBatch(qs, 5)
+		}
+		batched := time.Since(start)
+		total := float64(rounds * batchSize)
+		fmt.Printf("%-10d %12.0f %12.0f %8.2fx\n",
+			batchSize, total/loop.Seconds(), total/batched.Seconds(), loop.Seconds()/batched.Seconds())
 	}
 }

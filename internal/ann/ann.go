@@ -9,13 +9,18 @@
 // (τ-MG with τ = 0), and an NSW-style incrementally built graph. All indexes
 // share the Index interface so the retrieval module and the benchmark
 // harness can swap them freely.
+//
+// Every index stores its vectors in a contiguous vecmath.Matrix and
+// computes distances with fused dot-trick kernels against precomputed row
+// norms. Per-search working state (visited stamps, heaps, distance tiles)
+// recycles through a sync.Pool, so single searches allocate only their
+// result slice and SearchBatch serves concurrent queries over one shared
+// index without locks or garbage.
 package ann
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
 	"chatgraph/internal/vecmath"
 )
@@ -36,28 +41,38 @@ type SearchStats struct {
 	Hops int
 }
 
-// Index is a built ANN index over a fixed vector set.
+// Index is a built ANN index over a fixed vector set. Implementations are
+// immutable after construction, so all methods are safe for concurrent use.
 type Index interface {
 	// Search returns the k nearest candidates to q, closest first.
 	Search(q []float32, k int) []Result
 	// SearchWithStats is Search plus per-query work counters.
 	SearchWithStats(q []float32, k int) ([]Result, SearchStats)
+	// SearchBatch answers many queries in one call, fanning them across a
+	// bounded worker pool. out[i] is the result list for qs[i].
+	SearchBatch(qs [][]float32, k int) [][]Result
 	// Len reports how many vectors are indexed.
 	Len() int
 }
 
-// BruteForce is the exact baseline: linear scan over all vectors.
+// BruteForce is the exact baseline: a fused linear scan over the flat
+// matrix with a k-bounded heap, O(n·d + n·log k) per query.
 type BruteForce struct {
-	vecs [][]float32
+	mat *vecmath.Matrix
 }
 
-// NewBruteForce indexes vecs by reference; callers must not mutate them.
+// NewBruteForce copies vecs into a contiguous matrix. It panics on ragged
+// input; an empty input yields a searchable empty index.
 func NewBruteForce(vecs [][]float32) *BruteForce {
-	return &BruteForce{vecs: vecs}
+	return &BruteForce{mat: mustMatrix(vecs)}
 }
+
+// newBruteForceMatrix shares an already-built matrix (used by index
+// construction to avoid duplicating vector storage).
+func newBruteForceMatrix(m *vecmath.Matrix) *BruteForce { return &BruteForce{mat: m} }
 
 // Len implements Index.
-func (b *BruteForce) Len() int { return len(b.vecs) }
+func (b *BruteForce) Len() int { return b.mat.Rows() }
 
 // Search implements Index.
 func (b *BruteForce) Search(q []float32, k int) []Result {
@@ -65,25 +80,42 @@ func (b *BruteForce) Search(q []float32, k int) []Result {
 	return rs
 }
 
-// SearchWithStats implements Index.
+// bruteTile is the row-tile width of the fused brute-force scan: small
+// enough for the distance buffer to stay cache-hot, large enough to
+// amortize loop overhead.
+const bruteTile = 256
+
+// SearchWithStats implements Index. The scan computes squared distances a
+// tile at a time with the fused kernel and feeds them into a k-bounded
+// max-heap, so no n-sized buffer is ever materialized.
 func (b *BruteForce) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
-	if k <= 0 || len(b.vecs) == 0 {
+	n := b.mat.Rows()
+	if k <= 0 || n == 0 {
 		return nil, SearchStats{}
 	}
-	rs := make([]Result, 0, len(b.vecs))
-	for i, v := range b.vecs {
-		rs = append(rs, Result{ID: i, Dist: vecmath.L2(q, v)})
+	if k > n {
+		k = n
 	}
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Dist != rs[j].Dist {
-			return rs[i].Dist < rs[j].Dist
+	sc := getScratch(0)
+	defer putScratch(sc)
+	qn := vecmath.SquaredNorm(q)
+	tile := sc.distTile(bruteTile)
+	for base := 0; base < n; base += bruteTile {
+		hi := base + bruteTile
+		if hi > n {
+			hi = n
 		}
-		return rs[i].ID < rs[j].ID
-	})
-	if k > len(rs) {
-		k = len(rs)
+		b.mat.L2SquaredRange(q, qn, base, hi, tile)
+		for j, d := range tile[:hi-base] {
+			boundedInsert(&sc.best, Result{ID: base + j, Dist: d}, k)
+		}
 	}
-	return rs[:k], SearchStats{DistComps: len(b.vecs), Hops: 1}
+	return drainSorted(&sc.best, k), SearchStats{DistComps: n, Hops: 1}
+}
+
+// SearchBatch implements Index.
+func (b *BruteForce) SearchBatch(qs [][]float32, k int) [][]Result {
+	return searchBatch(b, qs, k)
 }
 
 // Recall computes |approx ∩ exact| / |exact| treating the result lists as ID
@@ -105,121 +137,72 @@ func Recall(approx, exact []Result) float64 {
 	return float64(hit) / float64(len(exact))
 }
 
-// maxHeap of results ordered by descending distance, so the worst candidate
-// in a bounded result set sits on top.
-type maxHeap []Result
-
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// minHeap of results ordered by ascending distance: the frontier of a beam
-// search.
-type minHeap []Result
-
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].Dist < h[j].Dist }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// graphIndex is the shared machinery of all proximity-graph indexes: vectors,
-// adjacency, an entry point, and beam-search routing.
+// graphIndex is the shared machinery of all proximity-graph indexes: the
+// flat vector matrix, adjacency, an entry point, and beam-search routing.
 type graphIndex struct {
-	vecs  [][]float32
+	mat   *vecmath.Matrix
 	adj   [][]int32
 	entry int
 	beam  int // default ef for search, ≥ k
 }
 
 // Len implements Index.
-func (g *graphIndex) Len() int { return len(g.vecs) }
+func (g *graphIndex) Len() int { return g.mat.Rows() }
 
-// medoid returns the index of the vector closest to the dataset mean; used
-// as the routing entry point.
-func medoid(vecs [][]float32) int {
-	if len(vecs) == 0 {
+// medoid returns the index of the row closest to the matrix mean; used as
+// the routing entry point.
+func medoid(m *vecmath.Matrix) int {
+	n := m.Rows()
+	if n == 0 {
 		return -1
 	}
-	m := vecmath.Mean(vecs)
-	best, _ := vecmath.ArgNearest(m, vecs)
+	mean := m.Mean()
+	qn := vecmath.SquaredNorm(mean)
+	best, bestDist := -1, float32(0)
+	for i := 0; i < n; i++ {
+		if d := m.L2SquaredTo(mean, qn, i); best < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
 	return best
 }
 
 // beamSearch routes from the entry point toward q keeping up to ef
-// candidates, the standard best-first search used by graph ANN indexes.
-func (g *graphIndex) beamSearch(q []float32, ef int) ([]Result, SearchStats) {
+// candidates and returning the closest k, the standard best-first search
+// used by graph ANN indexes. Scratch state comes from the shared pool, so
+// concurrent searches over one index are race-free and allocation-free
+// apart from the result slice.
+func (g *graphIndex) beamSearch(q []float32, ef, k int) ([]Result, SearchStats) {
 	var stats SearchStats
-	if len(g.vecs) == 0 || ef <= 0 {
+	if g.mat.Rows() == 0 || ef <= 0 || k <= 0 {
 		return nil, stats
 	}
-	visited := make(map[int32]bool, ef*4)
-	start := Result{ID: g.entry, Dist: vecmath.L2(q, g.vecs[g.entry])}
-	stats.DistComps++
-	frontier := minHeap{start}
-	best := maxHeap{start}
-	visited[int32(g.entry)] = true
-	for frontier.Len() > 0 {
-		cur := heap.Pop(&frontier).(Result)
-		if best.Len() >= ef && cur.Dist > best[0].Dist {
-			break
-		}
-		stats.Hops++
-		for _, nb := range g.adj[cur.ID] {
-			if visited[nb] {
-				continue
-			}
-			visited[nb] = true
-			d := vecmath.L2(q, g.vecs[nb])
-			stats.DistComps++
-			if best.Len() < ef || d < best[0].Dist {
-				heap.Push(&frontier, Result{ID: int(nb), Dist: d})
-				heap.Push(&best, Result{ID: int(nb), Dist: d})
-				if best.Len() > ef {
-					heap.Pop(&best)
-				}
-			}
-		}
-	}
-	out := make([]Result, best.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&best).(Result)
-	}
-	return out, stats
+	sc := getScratch(g.mat.Rows())
+	defer putScratch(sc)
+	qn := vecmath.SquaredNorm(q)
+	return beamSearchAdj(g.mat, g.adj, g.entry, ef, k, q, qn, sc, &stats), stats
 }
 
 // GreedyRoute performs the paper's single-path greedy routing: from the
 // entry point repeatedly move to the neighbor closest to q; stop when no
 // neighbor improves. It returns the final node and the routing stats. On a
 // τ-monotonic graph this finds the exact nearest neighbor of queries whose
-// nearest neighbor is within τ of the query (the τ-MG guarantee).
+// nearest neighbor is within τ of the query (the τ-MG guarantee). The walk
+// compares squared distances and allocates nothing.
 func (g *graphIndex) GreedyRoute(q []float32) (Result, SearchStats) {
 	var stats SearchStats
-	if len(g.vecs) == 0 {
+	if g.mat.Rows() == 0 {
 		return Result{ID: -1, Dist: float32(math.Inf(1))}, stats
 	}
+	qn := vecmath.SquaredNorm(q)
 	cur := g.entry
-	curDist := vecmath.L2(q, g.vecs[cur])
+	curDist := g.mat.L2SquaredTo(q, qn, cur)
 	stats.DistComps++
 	for {
 		stats.Hops++
 		improved := false
 		for _, nb := range g.adj[cur] {
-			d := vecmath.L2(q, g.vecs[nb])
+			d := g.mat.L2SquaredTo(q, qn, int(nb))
 			stats.DistComps++
 			if d < curDist {
 				cur, curDist = int(nb), d
@@ -227,7 +210,7 @@ func (g *graphIndex) GreedyRoute(q []float32) (Result, SearchStats) {
 			}
 		}
 		if !improved {
-			return Result{ID: cur, Dist: curDist}, stats
+			return Result{ID: cur, Dist: sqrtf(curDist)}, stats
 		}
 	}
 }
@@ -267,4 +250,14 @@ func checkVectors(vecs [][]float32) error {
 		}
 	}
 	return nil
+}
+
+// mustMatrix copies validated rows into a Matrix; it panics on ragged
+// input, which checkVectors-gated constructors have already excluded.
+func mustMatrix(vecs [][]float32) *vecmath.Matrix {
+	m, err := vecmath.FromRows(vecs)
+	if err != nil {
+		panic("ann: " + err.Error())
+	}
+	return m
 }

@@ -1,7 +1,6 @@
 package ann
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 
@@ -14,7 +13,7 @@ import (
 // baseline in the surveys the paper cites, so benchmark E5 includes it next
 // to τ-MG.
 type HNSW struct {
-	vecs   [][]float32
+	mat    *vecmath.Matrix
 	layers [][][]int32 // layers[l][node] = neighbors at level l
 	levels []int       // levels[node] = highest layer of node
 	entry  int
@@ -47,7 +46,7 @@ func (c *HNSWConfig) setDefaults() {
 	}
 }
 
-// NewHNSW builds an HNSW index over vecs.
+// NewHNSW builds an HNSW index over vecs, copied once into a flat matrix.
 func NewHNSW(vecs [][]float32, cfg HNSWConfig) (*HNSW, error) {
 	if err := checkVectors(vecs); err != nil {
 		return nil, err
@@ -56,7 +55,7 @@ func NewHNSW(vecs [][]float32, cfg HNSWConfig) (*HNSW, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(len(vecs))))
 	levelMult := 1 / math.Log(float64(cfg.M))
 	h := &HNSW{
-		vecs:   vecs,
+		mat:    mustMatrix(vecs),
 		levels: make([]int, len(vecs)),
 		m:      cfg.M,
 		beam:   cfg.Beam,
@@ -83,15 +82,19 @@ func NewHNSW(vecs [][]float32, cfg HNSWConfig) (*HNSW, error) {
 
 // insert links node i into every layer up to its level.
 func (h *HNSW) insert(i, efc int) {
-	q := h.vecs[i]
+	q := h.mat.Row(i)
+	qn := h.mat.SquaredNorm(i)
 	cur := h.entry
 	// Greedy descent through layers above the node's level.
 	for l := h.maxLvl; l > h.levels[i]; l-- {
-		cur = h.greedyLayer(q, cur, l)
+		cur = h.greedyLayer(q, qn, cur, l)
 	}
+	sc := getScratch(h.mat.Rows())
+	defer putScratch(sc)
+	var stats SearchStats // required by beamSearchAdj; construction discards it
 	// Beam insert on the node's layers, top-down.
 	for l := min(h.levels[i], h.maxLvl); l >= 0; l-- {
-		cands := h.searchLayer(q, cur, efc, l)
+		cands := beamSearchAdj(h.mat, h.layers[l], cur, efc, efc, q, qn, sc, &stats)
 		budget := h.m
 		if l == 0 {
 			budget = 2 * h.m
@@ -113,12 +116,13 @@ func (h *HNSW) insert(i, efc int) {
 	}
 }
 
-// pruneNeighbors keeps node u's `keep` nearest links at layer l.
+// pruneNeighbors keeps node u's `keep` nearest links at layer l. Squared
+// distances suffice: only the ordering matters.
 func (h *HNSW) pruneNeighbors(u, l, keep int) {
 	nbs := h.layers[l][u]
 	rs := make([]Result, len(nbs))
 	for i, v := range nbs {
-		rs[i] = Result{ID: int(v), Dist: vecmath.L2(h.vecs[u], h.vecs[v])}
+		rs[i] = Result{ID: int(v), Dist: h.mat.L2SquaredRows(u, int(v))}
 	}
 	sortResults(rs)
 	if keep > len(rs) {
@@ -131,14 +135,15 @@ func (h *HNSW) pruneNeighbors(u, l, keep int) {
 	h.layers[l][u] = out
 }
 
-// greedyLayer walks greedily toward q within one layer.
-func (h *HNSW) greedyLayer(q []float32, start, l int) int {
+// greedyLayer walks greedily toward q within one layer, comparing squared
+// distances against the precomputed norms.
+func (h *HNSW) greedyLayer(q []float32, qn float32, start, l int) int {
 	cur := start
-	curDist := vecmath.L2(q, h.vecs[cur])
+	curDist := h.mat.L2SquaredTo(q, qn, cur)
 	for {
 		improved := false
 		for _, nb := range h.layers[l][cur] {
-			if d := vecmath.L2(q, h.vecs[nb]); d < curDist {
+			if d := h.mat.L2SquaredTo(q, qn, int(nb)); d < curDist {
 				cur, curDist = int(nb), d
 				improved = true
 			}
@@ -149,53 +154,8 @@ func (h *HNSW) greedyLayer(q []float32, start, l int) int {
 	}
 }
 
-// searchLayer is a beam search within one layer, returning up to ef results
-// sorted by distance.
-func (h *HNSW) searchLayer(q []float32, start, ef, l int) []Result {
-	rs, _ := h.searchLayerStats(q, start, ef, l, nil)
-	return rs
-}
-
-func (h *HNSW) searchLayerStats(q []float32, start, ef, l int, stats *SearchStats) ([]Result, *SearchStats) {
-	if stats == nil {
-		stats = &SearchStats{}
-	}
-	visited := map[int32]bool{int32(start): true}
-	d0 := vecmath.L2(q, h.vecs[start])
-	stats.DistComps++
-	frontier := minHeap{{ID: start, Dist: d0}}
-	best := maxHeap{{ID: start, Dist: d0}}
-	for frontier.Len() > 0 {
-		cur := heap.Pop(&frontier).(Result)
-		if best.Len() >= ef && cur.Dist > best[0].Dist {
-			break
-		}
-		stats.Hops++
-		for _, nb := range h.layers[l][cur.ID] {
-			if visited[nb] {
-				continue
-			}
-			visited[nb] = true
-			d := vecmath.L2(q, h.vecs[nb])
-			stats.DistComps++
-			if best.Len() < ef || d < best[0].Dist {
-				heap.Push(&frontier, Result{ID: int(nb), Dist: d})
-				heap.Push(&best, Result{ID: int(nb), Dist: d})
-				if best.Len() > ef {
-					heap.Pop(&best)
-				}
-			}
-		}
-	}
-	out := make([]Result, best.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&best).(Result)
-	}
-	return out, stats
-}
-
 // Len implements Index.
-func (h *HNSW) Len() int { return len(h.vecs) }
+func (h *HNSW) Len() int { return h.mat.Rows() }
 
 // Search implements Index.
 func (h *HNSW) Search(q []float32, k int) []Result {
@@ -203,29 +163,35 @@ func (h *HNSW) Search(q []float32, k int) []Result {
 	return rs
 }
 
-// SearchWithStats implements Index.
+// SearchWithStats implements Index: greedy descent through the upper
+// layers, then a beam search on layer 0, all over pooled scratch state.
 func (h *HNSW) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
-	if len(h.vecs) == 0 || k <= 0 {
-		return nil, SearchStats{}
+	var stats SearchStats
+	if h.mat.Rows() == 0 || k <= 0 {
+		return nil, stats
 	}
 	ef := h.beam
 	if ef < k {
 		ef = k
 	}
-	stats := &SearchStats{}
+	qn := vecmath.SquaredNorm(q)
 	cur := h.entry
 	for l := h.maxLvl; l > 0; l-- {
 		before := cur
-		cur = h.greedyLayer(q, cur, l)
+		cur = h.greedyLayer(q, qn, cur, l)
 		if cur != before {
 			stats.Hops++
 		}
 	}
-	rs, stats := h.searchLayerStats(q, cur, ef, 0, stats)
-	if k < len(rs) {
-		rs = rs[:k]
-	}
-	return rs, *stats
+	sc := getScratch(h.mat.Rows())
+	defer putScratch(sc)
+	rs := beamSearchAdj(h.mat, h.layers[0], cur, ef, k, q, qn, sc, &stats)
+	return rs, stats
+}
+
+// SearchBatch implements Index.
+func (h *HNSW) SearchBatch(qs [][]float32, k int) [][]Result {
+	return searchBatch(h, qs, k)
 }
 
 // MaxLevel reports the top layer index (diagnostics).

@@ -10,10 +10,11 @@ import (
 // IVFFlat is the inverted-file baseline: vectors are partitioned into
 // nlist k-means cells; a query scans only the nprobe nearest cells. It is
 // the classic non-graph competitor in the ANN surveys the paper cites, so
-// E5 can show the graph-vs-partition trade-off.
+// E5 can show the graph-vs-partition trade-off. Vectors and centroids both
+// live in flat matrices, and cell scans run the fused row-list kernel.
 type IVFFlat struct {
-	vecs      [][]float32
-	centroids [][]float32
+	mat       *vecmath.Matrix
+	centroids *vecmath.Matrix
 	cells     [][]int32
 	nprobe    int
 }
@@ -128,11 +129,15 @@ func NewIVFFlat(vecs [][]float32, cfg IVFConfig) (*IVFFlat, error) {
 	for i := range vecs {
 		cells[assign[i]] = append(cells[assign[i]], int32(i))
 	}
-	return &IVFFlat{vecs: vecs, centroids: centroids, cells: cells, nprobe: cfg.NProbe}, nil
+	cmat, err := vecmath.FromRows(centroids)
+	if err != nil {
+		return nil, err
+	}
+	return &IVFFlat{mat: mustMatrix(vecs), centroids: cmat, cells: cells, nprobe: cfg.NProbe}, nil
 }
 
 // Len implements Index.
-func (ix *IVFFlat) Len() int { return len(ix.vecs) }
+func (ix *IVFFlat) Len() int { return ix.mat.Rows() }
 
 // Search implements Index.
 func (ix *IVFFlat) Search(q []float32, k int) []Result {
@@ -141,35 +146,46 @@ func (ix *IVFFlat) Search(q []float32, k int) []Result {
 }
 
 // SearchWithStats implements Index: rank cells by centroid distance, scan
-// the nprobe nearest exhaustively.
+// the nprobe nearest with the fused kernel into a k-bounded heap.
 func (ix *IVFFlat) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
 	var stats SearchStats
-	if k <= 0 || len(ix.vecs) == 0 {
+	if k <= 0 || ix.mat.Rows() == 0 {
 		return nil, stats
 	}
-	cellRank := make([]Result, len(ix.centroids))
-	for i, c := range ix.centroids {
-		cellRank[i] = Result{ID: i, Dist: vecmath.L2(q, c)}
-		stats.DistComps++
+	sc := getScratch(0)
+	defer putScratch(sc)
+	qn := vecmath.SquaredNorm(q)
+	nc := ix.centroids.Rows()
+	tile := sc.distTile(nc)
+	ix.centroids.L2SquaredRange(q, qn, 0, nc, tile)
+	stats.DistComps += nc
+	for i, d := range tile {
+		sc.cells = append(sc.cells, Result{ID: i, Dist: d})
 	}
-	sortResults(cellRank)
+	sortResults(sc.cells)
 	probe := ix.nprobe
-	if probe > len(cellRank) {
-		probe = len(cellRank)
+	if probe > nc {
+		probe = nc
 	}
-	var hits []Result
 	for p := 0; p < probe; p++ {
 		stats.Hops++
-		for _, id := range ix.cells[cellRank[p].ID] {
-			hits = append(hits, Result{ID: int(id), Dist: vecmath.L2(q, ix.vecs[id])})
-			stats.DistComps++
+		ids := ix.cells[sc.cells[p].ID]
+		if len(ids) == 0 {
+			continue
+		}
+		tile = sc.distTile(len(ids))
+		ix.mat.L2SquaredToRows(q, qn, ids, tile)
+		stats.DistComps += len(ids)
+		for j, d := range tile[:len(ids)] {
+			boundedInsert(&sc.best, Result{ID: int(ids[j]), Dist: d}, k)
 		}
 	}
-	sortResults(hits)
-	if k < len(hits) {
-		hits = hits[:k]
-	}
-	return hits, stats
+	return drainSorted(&sc.best, k), stats
+}
+
+// SearchBatch implements Index.
+func (ix *IVFFlat) SearchBatch(qs [][]float32, k int) [][]Result {
+	return searchBatch(ix, qs, k)
 }
 
 // NProbe returns the configured probe count (diagnostics).

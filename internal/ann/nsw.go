@@ -32,30 +32,28 @@ func (c *NSWConfig) setDefaults() {
 	}
 }
 
-// NewNSW builds an NSW graph over vecs.
+// NewNSW builds an NSW graph over vecs. The matrix is filled upfront;
+// during construction beam searches only ever reach already-linked nodes,
+// so searching over the full matrix with a growing adjacency is safe.
 func NewNSW(vecs [][]float32, cfg NSWConfig) (*NSW, error) {
 	if err := checkVectors(vecs); err != nil {
 		return nil, err
 	}
 	cfg.setDefaults()
 	g := &NSW{m: cfg.M}
-	g.vecs = vecs[:1]
+	g.mat = mustMatrix(vecs)
 	g.adj = make([][]int32, 1, len(vecs))
 	g.entry = 0
 	g.beam = cfg.Beam
 	for i := 1; i < len(vecs); i++ {
-		targets, _ := g.beamSearch(vecs[i], cfg.EFConstruction)
-		if len(targets) > cfg.M {
-			targets = targets[:cfg.M]
-		}
-		g.vecs = vecs[:i+1]
+		targets, _ := g.beamSearch(g.mat.Row(i), cfg.EFConstruction, cfg.M)
 		g.adj = append(g.adj, nil)
 		for _, tgt := range targets {
 			g.adj[i] = append(g.adj[i], int32(tgt.ID))
 			g.adj[tgt.ID] = append(g.adj[tgt.ID], int32(i))
 		}
 	}
-	g.entry = medoid(vecs)
+	g.entry = medoid(g.mat)
 	return g, nil
 }
 
@@ -71,9 +69,10 @@ func (g *NSW) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
 	if ef < k {
 		ef = k
 	}
-	rs, stats := g.beamSearch(q, ef)
-	if k < len(rs) {
-		rs = rs[:k]
-	}
-	return rs, stats
+	return g.beamSearch(q, ef, k)
+}
+
+// SearchBatch implements Index.
+func (g *NSW) SearchBatch(qs [][]float32, k int) [][]Result {
+	return searchBatch(g, qs, k)
 }

@@ -65,7 +65,8 @@ func (c *TauMGConfig) setDefaults() {
 // NewTauMG builds a τ-MG over vecs. Construction computes, for every node,
 // its CandidatePool exact nearest neighbors (O(n²·d) — fine at retrieval
 // scale; the API registry has tens to thousands of entries) and then applies
-// the occlusion rule in ascending distance order.
+// the occlusion rule in ascending distance order. The vectors are copied
+// once into a flat matrix shared by construction and search.
 func NewTauMG(vecs [][]float32, cfg TauMGConfig) (*TauMG, error) {
 	if err := checkVectors(vecs); err != nil {
 		return nil, err
@@ -73,23 +74,23 @@ func NewTauMG(vecs [][]float32, cfg TauMGConfig) (*TauMG, error) {
 	cfg.setDefaults()
 	n := len(vecs)
 	t := &TauMG{tau: cfg.Tau}
-	t.vecs = vecs
+	t.mat = mustMatrix(vecs)
 	t.beam = cfg.Beam
 	t.adj = make([][]int32, n)
 
-	// Exact candidate pools via per-node linear scans.
-	bf := NewBruteForce(vecs)
+	// Exact candidate pools via per-node fused scans over the shared matrix.
+	bf := newBruteForceMatrix(t.mat)
 	pool := cfg.CandidatePool
 	if pool > n-1 {
 		pool = n - 1
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
 	for u := 0; u < n; u++ {
-		cands := bf.Search(vecs[u], pool+1) // +1: the node itself is returned first
+		cands := bf.Search(t.mat.Row(u), pool+1) // +1: the node itself is returned first
 		for r := 0; r < cfg.RandomCandidates; r++ {
 			v := rng.Intn(n)
 			if v != u {
-				cands = append(cands, Result{ID: v, Dist: dist(vecs[u], vecs[v])})
+				cands = append(cands, Result{ID: v, Dist: sqrtf(t.mat.L2SquaredRows(u, v))})
 			}
 		}
 		sortResults(cands)
@@ -103,13 +104,13 @@ func NewTauMG(vecs [][]float32, cfg TauMGConfig) (*TauMG, error) {
 			if len(selected) >= cfg.MaxDegree {
 				break
 			}
-			if !t.occluded(u, c, selected) {
+			if !t.occluded(c, selected) {
 				selected = append(selected, int32(c.ID))
 			}
 		}
 		t.adj[u] = selected
 	}
-	t.entry = medoid(vecs)
+	t.entry = medoid(t.mat)
 	t.ensureReachable()
 	return t, nil
 }
@@ -118,53 +119,26 @@ func NewTauMG(vecs [][]float32, cfg TauMGConfig) (*TauMG, error) {
 // already-selected neighbor u′ of u satisfies δ(u,u′) < δ(u,v) and
 // δ(v,u′) < δ(u,v) − 3τ. Candidates arrive in ascending δ(u,v) order, so
 // δ(u,u′) < δ(u,v) holds for all selected u′ automatically; only the second
-// ball test is evaluated.
-func (t *TauMG) occluded(u int, v Result, selected []int32) bool {
+// ball test is evaluated, squared against the precomputed row norms.
+func (t *TauMG) occluded(v Result, selected []int32) bool {
 	limit := v.Dist - 3*t.tau
 	if limit <= 0 {
 		return false // the second ball is empty; nothing can occlude
 	}
+	limitSq := limit * limit
 	for _, up := range selected {
-		if dist(t.vecs[v.ID], t.vecs[up]) < limit {
+		if t.mat.L2SquaredRows(v.ID, int(up)) < limitSq {
 			return true
 		}
 	}
 	return false
 }
 
-func dist(a, b []float32) float32 {
-	var s float32
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return sqrt32(s)
-}
-
-func sqrt32(x float32) float32 {
-	// Newton iterations on a float64 seed keep this dependency-free and
-	// precise enough for distance comparison.
-	if x <= 0 {
-		return 0
-	}
-	f := float64(x)
-	r := f
-	for i := 0; i < 32; i++ {
-		nr := 0.5 * (r + f/r)
-		if diff := r - nr; diff < 1e-12 && diff > -1e-12 {
-			r = nr
-			break
-		}
-		r = nr
-	}
-	return float32(r)
-}
-
 // ensureReachable adds an edge from the entry point to the first node of any
 // weakly unreachable region so every vector is searchable. Occlusion can in
 // rare degenerate datasets (many duplicate points) orphan nodes.
 func (t *TauMG) ensureReachable() {
-	n := len(t.vecs)
+	n := t.mat.Rows()
 	seen := make([]bool, n)
 	stack := []int{t.entry}
 	seen[t.entry] = true
@@ -218,11 +192,12 @@ func (t *TauMG) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
 	if ef < k {
 		ef = k
 	}
-	rs, stats := t.beamSearch(q, ef)
-	if k < len(rs) {
-		rs = rs[:k]
-	}
-	return rs, stats
+	return t.beamSearch(q, ef, k)
+}
+
+// SearchBatch implements Index.
+func (t *TauMG) SearchBatch(qs [][]float32, k int) [][]Result {
+	return searchBatch(t, qs, k)
 }
 
 // NewMRNG builds the MRNG baseline: a τ-MG with τ = 0, whose occlusion rule

@@ -158,7 +158,7 @@ func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts
 	turn.Candidates = s.eng.retrieveCandidates(question)
 
 	// 2. Graph-aware prompt + chain generation.
-	msgs := llm.BuildPrompt(question, g, turn.Kind, turn.Candidates, s.eng.index.Descriptions(), s.eng.cfg.Prompt)
+	msgs := llm.BuildPrompt(question, g, turn.Kind, turn.Candidates, s.eng.descs, s.eng.cfg.Prompt)
 	text, err := s.eng.client.Complete(ctx, msgs)
 	if err != nil {
 		return turn, fmt.Errorf("core: chain generation: %w", err)

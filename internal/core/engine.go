@@ -28,6 +28,10 @@ type Engine struct {
 	index    *retrieve.Index
 	exec     *executor.Executor
 	cfg      Config
+	// descs is the engine's private snapshot of the retrieval index's
+	// name → description map, taken once at construction so the per-Ask
+	// prompt build neither copies the map nor shares mutable state.
+	descs map[string]string
 	// fileConfig is set when the engine was built from a config file.
 	fileConfig *config.Config
 }
@@ -84,6 +88,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		index:    ix,
 		exec:     executor.New(cfg.Registry, cfg.Env),
 		cfg:      cfg,
+		descs:    ix.Descriptions(),
 	}, nil
 }
 
@@ -143,6 +148,20 @@ func (e *Engine) NewSession() *Session {
 
 // Registry exposes the engine's API catalog.
 func (e *Engine) Registry() *apis.Registry { return e.registry }
+
+// Retrieval exposes the engine's API-retrieval index. The index is
+// immutable, so callers may search it concurrently with live sessions.
+func (e *Engine) Retrieval() *retrieve.Index { return e.index }
+
+// RetrieveBatch answers many retrieval queries in one batched pass over the
+// shared index (pooled embed + ANN worker fan-out). k ≤ 0 uses the engine's
+// configured RetrievalK. out[i] is the ranked hit list for queries[i].
+func (e *Engine) RetrieveBatch(queries []string, k int) [][]retrieve.Scored {
+	if k <= 0 {
+		k = e.cfg.RetrievalK
+	}
+	return e.index.TopAPIsBatch(queries, k)
+}
 
 // Env exposes the shared substrate environment.
 func (e *Engine) Env() *apis.Env { return e.env }

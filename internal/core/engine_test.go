@@ -91,6 +91,35 @@ func TestHistoryDuringAsk(t *testing.T) {
 	}
 }
 
+// TestEngineRetrieveBatch: the engine's batched retrieval must agree with
+// the per-query index lookups and honor the configured default k.
+func TestEngineRetrieveBatch(t *testing.T) {
+	eng := session(t).Engine()
+	queries := []string{
+		"detect the communities of this social network",
+		"how toxic is this molecule",
+	}
+	batch := eng.RetrieveBatch(queries, 4)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch returned %d lists", len(batch))
+	}
+	for i, q := range queries {
+		want := eng.Retrieval().TopAPIs(q, 4)
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: %d hits, want %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("query %d hit %d: %+v, want %+v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+	// k ≤ 0 falls back to the engine's RetrievalK default.
+	if def := eng.RetrieveBatch(queries[:1], 0); len(def[0]) == 0 {
+		t.Fatal("default-k batch returned no hits")
+	}
+}
+
 // TestNewSessionShim confirms the one-call compatibility constructor still
 // produces a working conversation backed by its own engine.
 func TestNewSessionShim(t *testing.T) {

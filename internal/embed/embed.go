@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"chatgraph/internal/parallel"
 	"chatgraph/internal/vecmath"
 )
 
@@ -110,6 +111,19 @@ func (h *Hashing) Embed(text string) []float32 {
 	}
 	h.mu.RUnlock()
 	return vecmath.Normalize(v)
+}
+
+// EmbedBatch embeds many texts in one call, fanning them across a bounded
+// worker pool (at most GOMAXPROCS goroutines). Embed only takes the IDF
+// read-lock, so workers never contend on writes; out[i] is the embedding of
+// texts[i]. It is the companion to ann.Index.SearchBatch on the batched
+// retrieval path.
+func (h *Hashing) EmbedBatch(texts []string) [][]float32 {
+	out := make([][]float32, len(texts))
+	parallel.ForEach(len(texts), func(i int) {
+		out[i] = h.Embed(texts[i])
+	})
+	return out
 }
 
 // hashTerm maps a term to (bucket, ±1) using two independent FNV hashes.

@@ -100,6 +100,34 @@ func TestFitChangesWeighting(t *testing.T) {
 	}
 }
 
+// TestEmbedBatchMatchesEmbed: the batch fan-out must be a pure wrapper —
+// byte-identical vectors to per-text Embed calls, in input order.
+func TestEmbedBatchMatchesEmbed(t *testing.T) {
+	h := NewHashing(64)
+	texts := []string{
+		"detect communities in the network",
+		"molecular toxicity prediction",
+		"", // zero vector, not a crash
+		"shortest path between nodes",
+	}
+	h.Fit(texts)
+	got := h.EmbedBatch(texts)
+	if len(got) != len(texts) {
+		t.Fatalf("batch returned %d vectors", len(got))
+	}
+	for i, text := range texts {
+		want := h.Embed(text)
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("batch[%d][%d] = %v, Embed = %v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+	if out := h.EmbedBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d vectors", len(out))
+	}
+}
+
 func TestDefaultDim(t *testing.T) {
 	if NewHashing(0).Dim() != 128 {
 		t.Fatal("default dim not applied")

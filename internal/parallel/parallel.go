@@ -1,0 +1,49 @@
+// Package parallel holds the one concurrency primitive the batched vector
+// stack needs: a bounded parallel for-loop. ann.SearchBatch and
+// embed.EmbedBatch both fan work out through it, so the GOMAXPROCS clamp,
+// the sequential small-n fallback, and the atomic work-claiming loop live
+// in exactly one place.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls across at
+// most GOMAXPROCS goroutines and returning when all have finished. Work is
+// claimed with an atomic counter, so uneven item costs balance naturally.
+// With one worker (or n ≤ 1) it degenerates to a plain loop on the calling
+// goroutine. fn must be safe to call concurrently.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

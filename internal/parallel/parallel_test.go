@@ -1,0 +1,26 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		counts := make([]atomic.Int32, n)
+		ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachNegativeN(t *testing.T) {
+	ran := false
+	ForEach(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for negative n")
+	}
+}

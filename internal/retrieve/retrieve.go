@@ -2,7 +2,8 @@
 // descriptions are embedded into high-dimensional vectors and, given a user
 // prompt, the most relevant APIs are found by ANN search over a τ-MG
 // proximity-graph index (falling back to exact search for tiny registries,
-// where an index buys nothing).
+// where an index buys nothing). The built Index is immutable, so single and
+// batched lookups may run concurrently from any number of sessions.
 package retrieve
 
 import (
@@ -38,7 +39,6 @@ type Index struct {
 	emb    *embed.Hashing
 	names  []string
 	descs  map[string]string
-	vecs   [][]float32
 	search ann.Index
 }
 
@@ -66,15 +66,12 @@ func New(reg *apis.Registry, cfg Config) (*Index, error) {
 		ix.descs[a.Name] = a.Description
 	}
 	ix.emb.Fit(corpus)
-	ix.vecs = make([][]float32, len(corpus))
-	for i, text := range corpus {
-		ix.vecs[i] = ix.emb.Embed(text)
-	}
-	if len(ix.vecs) <= cfg.ExactThreshold {
-		ix.search = ann.NewBruteForce(ix.vecs)
+	vecs := ix.emb.EmbedBatch(corpus)
+	if len(vecs) <= cfg.ExactThreshold {
+		ix.search = ann.NewBruteForce(vecs)
 		return ix, nil
 	}
-	idx, err := ann.NewTauMG(ix.vecs, ann.TauMGConfig{Tau: cfg.Tau})
+	idx, err := ann.NewTauMG(vecs, ann.TauMGConfig{Tau: cfg.Tau})
 	if err != nil {
 		return nil, fmt.Errorf("retrieve: build index: %w", err)
 	}
@@ -88,22 +85,58 @@ func (ix *Index) Len() int { return len(ix.names) }
 // Description returns the indexed description of an API.
 func (ix *Index) Description(name string) string { return ix.descs[name] }
 
-// Descriptions returns the full name → description map (shared; read-only).
-func (ix *Index) Descriptions() map[string]string { return ix.descs }
+// Descriptions returns a copy of the full name → description map. The copy
+// is defensive: the underlying map is engine-shared state, so handing out
+// the internal reference would let any caller corrupt every session's
+// prompts.
+func (ix *Index) Descriptions() map[string]string {
+	out := make(map[string]string, len(ix.descs))
+	for k, v := range ix.descs {
+		out[k] = v
+	}
+	return out
+}
 
 // TopAPIs returns the k APIs whose descriptions are nearest to the query
-// text, most relevant first.
+// text, most relevant first. Equal distances are broken by name, so the
+// ranking is deterministic across index types.
 func (ix *Index) TopAPIs(query string, k int) []Scored {
 	if k <= 0 {
 		return nil
 	}
 	q := ix.emb.Embed(query)
-	rs := ix.search.Search(q, k)
+	return ix.scored(ix.search.Search(q, k))
+}
+
+// TopAPIsBatch answers many queries in one pass: queries are embedded by
+// embed.Hashing.EmbedBatch and searched by ann.Index.SearchBatch, both over
+// bounded worker pools, so a service can amortize a burst of retrievals
+// across cores instead of paying the one-at-a-time loop. out[i] is the
+// ranked hit list for queries[i].
+func (ix *Index) TopAPIsBatch(queries []string, k int) [][]Scored {
+	out := make([][]Scored, len(queries))
+	if k <= 0 || len(queries) == 0 {
+		return out
+	}
+	qs := ix.emb.EmbedBatch(queries)
+	for i, rs := range ix.search.SearchBatch(qs, k) {
+		out[i] = ix.scored(rs)
+	}
+	return out
+}
+
+// scored converts raw ANN hits into the stable (Distance, Name) ranking.
+func (ix *Index) scored(rs []ann.Result) []Scored {
 	out := make([]Scored, 0, len(rs))
 	for _, r := range rs {
 		out = append(out, Scored{Name: ix.names[r.ID], Distance: r.Dist})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

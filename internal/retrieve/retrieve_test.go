@@ -74,6 +74,93 @@ func TestDescriptionLookup(t *testing.T) {
 	}
 }
 
+// TestDescriptionsDefensiveCopy: the returned map must be a copy — mutating
+// it must not corrupt the engine-shared index state.
+func TestDescriptionsDefensiveCopy(t *testing.T) {
+	ix, err := New(apis.Default(nil), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ix.Description("community.detect")
+	if want == "" {
+		t.Fatal("fixture API missing")
+	}
+	m := ix.Descriptions()
+	m["community.detect"] = "vandalized"
+	delete(m, "graph.stats")
+	if got := ix.Description("community.detect"); got != want {
+		t.Fatalf("mutating the returned map changed index state: %q", got)
+	}
+	if ix.Description("graph.stats") == "" {
+		t.Fatal("delete on the returned map reached index state")
+	}
+}
+
+// TestTopAPIsBatchMatchesSequential: the batched path must rank exactly
+// like the one-query-at-a-time loop.
+func TestTopAPIsBatchMatchesSequential(t *testing.T) {
+	ix, err := New(apis.Default(nil), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"detect the communities of this social network",
+		"predict the toxicity of the molecule",
+		"shortest path between two nodes",
+	}
+	batch := ix.TopAPIsBatch(queries, 5)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch returned %d lists", len(batch))
+	}
+	for i, q := range queries {
+		want := ix.TopAPIs(q, 5)
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: %d hits, want %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("query %d hit %d: %+v, want %+v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+	if out := ix.TopAPIsBatch(nil, 5); len(out) != 0 {
+		t.Fatalf("empty batch returned %d lists", len(out))
+	}
+	if out := ix.TopAPIsBatch(queries, 0); out[0] != nil {
+		t.Fatalf("k=0 batch returned hits: %v", out[0])
+	}
+}
+
+// TestTopAPIsTieBreakByName: APIs whose names tokenize to nothing and share
+// one description embed identically, so their distances tie exactly; the
+// ranking must fall back to name order instead of index insertion order.
+func TestTopAPIsTieBreakByName(t *testing.T) {
+	reg := apis.NewRegistry()
+	noop := func(apis.Input) (apis.Output, error) { return apis.Output{Text: "x"}, nil }
+	// Registered deliberately in reverse-alphabetical order; single-letter
+	// name segments are dropped by the tokenizer, so both embed only the
+	// shared description text.
+	for _, name := range []string{"z.y", "x.w", "a.b"} {
+		if err := reg.Register(apis.API{Name: name, Description: "identical twin operation", Category: "util", Fn: noop}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := New(reg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.TopAPIs("identical twin operation", 3)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	if hits[0].Distance != hits[1].Distance || hits[1].Distance != hits[2].Distance {
+		t.Fatalf("fixture broken: distances differ: %+v", hits)
+	}
+	if hits[0].Name != "a.b" || hits[1].Name != "x.w" || hits[2].Name != "z.y" {
+		t.Fatalf("tied hits not ordered by name: %+v", hits)
+	}
+}
+
 // TestTauMGPathUsed forces the proximity-graph path by lowering the exact
 // threshold and padding the registry past it.
 func TestTauMGPathUsed(t *testing.T) {

@@ -64,6 +64,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/chat", s.handleSessionChat)
 	mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleSessionHistory)
+	mux.HandleFunc("POST /v1/retrieve", s.handleRetrieve)
 	// Legacy single-conversation surface.
 	mux.HandleFunc("/chat", s.handleChat)
 	mux.HandleFunc("/apis", s.handleAPIs)
@@ -230,6 +231,73 @@ type streamError struct {
 	Type      string `json:"type"`
 	Error     string `json:"error"`
 	RequestID string `json:"request_id"`
+}
+
+// Retrieval batch limits: one request embeds and searches every query, so
+// both axes are bounded to keep a single POST from monopolizing the pool.
+const (
+	maxRetrieveQueries = 256
+	maxRetrieveK       = 100
+)
+
+// RetrieveRequest is the POST /v1/retrieve payload: a batch of queries
+// answered in one fused pass over the shared retrieval index.
+type RetrieveRequest struct {
+	Queries []string `json:"queries"`
+	// K is how many APIs to return per query (0 → the engine's default).
+	K int `json:"k,omitempty"`
+}
+
+// RetrieveHit is one ranked API for one query.
+type RetrieveHit struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Distance    float32 `json:"distance"`
+}
+
+// RetrieveResponse answers a retrieval batch; Results[i] ranks the APIs for
+// Queries[i], most relevant first.
+type RetrieveResponse struct {
+	Results [][]RetrieveHit `json:"results"`
+}
+
+// handleRetrieve serves the batched retrieval endpoint: many queries in,
+// one engine-level RetrieveBatch (pooled embedding + ANN fan-out) out. It
+// needs no session — retrieval state is engine-immutable.
+func (s *Server) handleRetrieve(w http.ResponseWriter, r *http.Request) {
+	var req RetrieveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, r, http.StatusBadRequest, "queries is required")
+		return
+	}
+	if len(req.Queries) > maxRetrieveQueries {
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("too many queries (max %d)", maxRetrieveQueries))
+		return
+	}
+	for i, q := range req.Queries {
+		if q == "" {
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("queries[%d] is empty", i))
+			return
+		}
+	}
+	if req.K < 0 || req.K > maxRetrieveK {
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("k must be in [0, %d]", maxRetrieveK))
+		return
+	}
+	ix := s.eng.Retrieval()
+	resp := RetrieveResponse{Results: make([][]RetrieveHit, len(req.Queries))}
+	for i, hits := range s.eng.RetrieveBatch(req.Queries, req.K) {
+		out := make([]RetrieveHit, 0, len(hits))
+		for _, h := range hits {
+			out = append(out, RetrieveHit{Name: h.Name, Description: ix.Description(h.Name), Distance: h.Distance})
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ChatRequest is the chat payload (legacy /chat and /v1 .../chat).

@@ -34,8 +34,8 @@ type managed struct {
 	lastUsed atomic.Int64
 }
 
-func (m *managed) touch(now time.Time)        { m.lastUsed.Store(now.UnixNano()) }
-func (m *managed) idleSince() time.Time       { return time.Unix(0, m.lastUsed.Load()) }
+func (m *managed) touch(now time.Time)  { m.lastUsed.Store(now.UnixNano()) }
+func (m *managed) idleSince() time.Time { return time.Unix(0, m.lastUsed.Load()) }
 func (m *managed) expired(now time.Time, ttl time.Duration) bool {
 	return now.Sub(m.idleSince()) > ttl
 }

@@ -353,3 +353,88 @@ func TestV1SessionList(t *testing.T) {
 		t.Fatalf("created session %s missing from list of %d", info.SessionID, len(out.Sessions))
 	}
 }
+
+func postRetrieve(t *testing.T, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(testServer(t).URL+"/v1/retrieve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestV1RetrieveBatch(t *testing.T) {
+	resp := postRetrieve(t, `{"queries":["detect communities in the network","how toxic is this molecule"],"k":5}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out RetrieveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results = %d lists", len(out.Results))
+	}
+	for i, hits := range out.Results {
+		if len(hits) != 5 {
+			t.Fatalf("query %d returned %d hits, want 5", i, len(hits))
+		}
+		for j, h := range hits {
+			if h.Name == "" || h.Description == "" {
+				t.Fatalf("query %d hit %d incomplete: %+v", i, j, h)
+			}
+			if j > 0 && h.Distance < hits[j-1].Distance {
+				t.Fatalf("query %d hits not sorted: %+v", i, hits)
+			}
+		}
+	}
+	// The engine-side single-query ranking must agree with the wire reply.
+	want := srvEngine.Retrieval().TopAPIs("detect communities in the network", 5)
+	for j := range want {
+		if out.Results[0][j].Name != want[j].Name {
+			t.Fatalf("wire hit %d = %s, engine = %s", j, out.Results[0][j].Name, want[j].Name)
+		}
+	}
+}
+
+func TestV1RetrieveValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{nope`},
+		{"no queries", `{"k":5}`},
+		{"empty query string", `{"queries":["ok",""]}`},
+		{"negative k", `{"queries":["ok"],"k":-1}`},
+		{"huge k", `{"queries":["ok"],"k":101}`},
+	}
+	for _, c := range cases {
+		resp := postRetrieve(t, c.body)
+		var body errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: decode error body: %v", c.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", c.name, resp.StatusCode)
+		}
+		if body.Error == "" || body.RequestID == "" {
+			t.Fatalf("%s: error body incomplete: %+v", c.name, body)
+		}
+	}
+	// Too many queries.
+	qs := make([]string, maxRetrieveQueries+1)
+	for i := range qs {
+		qs[i] = "q"
+	}
+	data, err := json.Marshal(RetrieveRequest{Queries: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postRetrieve(t, string(data))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -103,29 +103,3 @@ func Clone(a []float32) []float32 {
 	copy(c, a)
 	return c
 }
-
-// Mean returns the component-wise mean of the given vectors, or nil when the
-// input is empty. All vectors must share one length.
-func Mean(vs [][]float32) []float32 {
-	if len(vs) == 0 {
-		return nil
-	}
-	m := make([]float32, len(vs[0]))
-	for _, v := range vs {
-		Add(m, v)
-	}
-	Scale(m, 1/float32(len(vs)))
-	return m
-}
-
-// ArgNearest returns the index in candidates of the vector closest (L2) to q,
-// and that distance. It returns (-1, +Inf) for an empty candidate set.
-func ArgNearest(q []float32, candidates [][]float32) (int, float32) {
-	best, bestDist := -1, float32(math.Inf(1))
-	for i, c := range candidates {
-		if d := L2(q, c); d < bestDist {
-			best, bestDist = i, d
-		}
-	}
-	return best, bestDist
-}

@@ -75,27 +75,6 @@ func TestAddScaleClone(t *testing.T) {
 	}
 }
 
-func TestMean(t *testing.T) {
-	if Mean(nil) != nil {
-		t.Fatal("Mean(nil) != nil")
-	}
-	m := Mean([][]float32{{0, 2}, {2, 0}})
-	if !almost(m[0], 1) || !almost(m[1], 1) {
-		t.Fatalf("Mean = %v", m)
-	}
-}
-
-func TestArgNearest(t *testing.T) {
-	idx, d := ArgNearest([]float32{0, 0}, [][]float32{{5, 5}, {1, 0}, {3, 3}})
-	if idx != 1 || !almost(d, 1) {
-		t.Fatalf("ArgNearest = %d, %v", idx, d)
-	}
-	idx, _ = ArgNearest([]float32{0}, nil)
-	if idx != -1 {
-		t.Fatalf("empty ArgNearest = %d", idx)
-	}
-}
-
 // Property: triangle inequality holds for L2 on random vectors.
 func TestQuickTriangleInequality(t *testing.T) {
 	f := func(seed int64) bool {
