@@ -1,9 +1,10 @@
-// Command evalchains regenerates experiments E7–E10 as printed tables: the
+// Command evalchains regenerates experiments E7–E11 as printed tables: the
 // rollout-search ablation, the greedy-vs-beam decoding comparison, the
 // per-task accuracy breakdown of the finetuned model, the API-retrieval hit
-// rate, the multi-session engine throughput scaling, and the batched
-// retrieval throughput. It is the table-oriented companion to
-// `go test -bench`.
+// rate, the multi-session engine throughput scaling, the batched retrieval
+// throughput, and the graph-kernel table (cold vs cached executor
+// invocations, serial vs parallel eccentricities). It is the table-oriented
+// companion to `go test -bench`.
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"chatgraph/internal/apis"
 	"chatgraph/internal/chain"
 	"chatgraph/internal/core"
+	"chatgraph/internal/executor"
 	"chatgraph/internal/finetune"
 	"chatgraph/internal/graph"
 	"chatgraph/internal/retrieve"
@@ -205,5 +208,77 @@ func main() {
 		total := float64(rounds * batchSize)
 		fmt.Printf("%-10d %12.0f %12.0f %8.2fx\n",
 			batchSize, total/loop.Seconds(), total/batched.Seconds(), loop.Seconds()/batched.Seconds())
+	}
+
+	fmt.Println("\n== E11a: executor invocation cache (cold vs cached chain runs on one graph) ==")
+	// Each row re-runs the same analysis chain against one unmutated graph:
+	// "cold" bumps the graph version every run (full CSR freeze + recompute),
+	// "cached" lets the Env invocation LRU and the frozen-view memos serve it.
+	e11env := &apis.Env{}
+	e11reg := apis.Default(e11env)
+	exec := executor.New(e11reg, e11env)
+	analysis := chain.Chain{
+		{API: "graph.stats"},
+		{API: "structure.kcore"},
+		{API: "structure.center"},
+	}
+	const e11Rounds = 25
+	fmt.Printf("%-10s %14s %14s %9s\n", "nodes", "cold-ms/run", "cached-ms/run", "speedup")
+	for _, n := range []int{200, 800, 2000} {
+		g := graph.BarabasiAlbert(n, 3, rand.New(rand.NewSource(*seed)))
+		cold := time.Duration(0)
+		for r := 0; r < e11Rounds; r++ {
+			g.SetNodeLabel(0, "v") // version bump forces a full recompute
+			start := time.Now()
+			if _, err := exec.Run(context.Background(), g, analysis, executor.Options{}); err != nil {
+				fmt.Fprintln(os.Stderr, "evalchains:", err)
+				os.Exit(1)
+			}
+			cold += time.Since(start)
+		}
+		if _, err := exec.Run(context.Background(), g, analysis, executor.Options{}); err != nil { // warm the cache
+			fmt.Fprintln(os.Stderr, "evalchains:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		for r := 0; r < e11Rounds; r++ {
+			if _, err := exec.Run(context.Background(), g, analysis, executor.Options{}); err != nil {
+				fmt.Fprintln(os.Stderr, "evalchains:", err)
+				os.Exit(1)
+			}
+		}
+		cached := time.Since(start)
+		fmt.Printf("%-10d %14.3f %14.3f %8.1fx\n", n,
+			float64(cold.Microseconds())/1000/e11Rounds,
+			float64(cached.Microseconds())/1000/e11Rounds,
+			float64(cold)/float64(cached))
+	}
+
+	fmt.Println("\n== E11b: all-source eccentricities, serial vs parallel BFS sweeps ==")
+	// parallel.ForEach clamps to GOMAXPROCS, so pinning it to 1 gives the
+	// serial baseline; the speedup tracks core count (≈1x on one core).
+	fmt.Printf("%-10s %14s %14s %9s  (GOMAXPROCS=%d)\n",
+		"nodes", "serial-ms", "parallel-ms", "speedup", runtime.GOMAXPROCS(0))
+	for _, n := range []int{500, 2000} {
+		g := graph.BarabasiAlbert(n, 3, rand.New(rand.NewSource(*seed)))
+		g.Freeze()
+		graph.Eccentricities(g) // warm the scratch pool
+		const reps = 5
+		procs := runtime.GOMAXPROCS(1)
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			graph.Eccentricities(g)
+		}
+		serial := time.Since(start)
+		runtime.GOMAXPROCS(procs)
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			graph.Eccentricities(g)
+		}
+		par := time.Since(start)
+		fmt.Printf("%-10d %14.2f %14.2f %8.2fx\n", n,
+			float64(serial.Microseconds())/1000/reps,
+			float64(par.Microseconds())/1000/reps,
+			float64(serial)/float64(par))
 	}
 }

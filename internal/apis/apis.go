@@ -67,6 +67,10 @@ type Env struct {
 	MolDB *moldb.DB
 	// Detector finds knowledge-graph defects (scenario 3).
 	Detector *kg.Detector
+	// Cache memoizes invocations of Memoizable APIs per graph version, so a
+	// session asking follow-up questions about an unmutated graph never
+	// re-runs an identical analysis. Nil disables memoization.
+	Cache *InvokeCache
 }
 
 // Param documents one API argument.
@@ -94,6 +98,11 @@ type API struct {
 	Kinds []graph.Kind
 	// Params documents accepted arguments.
 	Params []Param
+	// Memoizable marks APIs whose Output is a pure function of (graph
+	// version, args): they read only the graph and their arguments — never
+	// Prev, never mutable Env state — and do not mutate the graph. Only
+	// these are eligible for the Env invocation cache.
+	Memoizable bool
 	// Fn executes the API.
 	Fn func(Input) (Output, error)
 }
@@ -226,7 +235,12 @@ func (r *Registry) ValidateStep(s chain.Step) error {
 	return nil
 }
 
-// Invoke validates and executes one step against in.
+// Invoke validates and executes one step against in. Memoizable APIs are
+// served from (and stored into) the Env invocation cache keyed by the
+// graph's mutation version, so repeating a step on an unmutated graph
+// short-circuits without re-running the implementation. A result is only
+// cached when the graph version is unchanged after the call — a safety net
+// against an API marked Memoizable that mutates anyway.
 func (r *Registry) Invoke(s chain.Step, in Input) (Output, error) {
 	if err := r.ValidateStep(s); err != nil {
 		return Output{}, err
@@ -234,6 +248,17 @@ func (r *Registry) Invoke(s chain.Step, in Input) (Output, error) {
 	a, _ := r.Get(s.API)
 	if in.Args == nil {
 		in.Args = s.Args
+	}
+	if a.Memoizable && in.Graph != nil && in.Env != nil && in.Env.Cache != nil {
+		key := cacheKey{graph: in.Graph, version: in.Graph.Version(), api: a.Name, args: canonicalArgs(in.Args)}
+		if out, ok := in.Env.Cache.get(key); ok {
+			return out, nil
+		}
+		out, err := a.Fn(in)
+		if err == nil && in.Graph.Version() == key.version {
+			in.Env.Cache.put(key, out)
+		}
+		return out, err
 	}
 	return a.Fn(in)
 }
@@ -249,6 +274,9 @@ func Default(env *Env) *Registry {
 	}
 	if env.Detector == nil {
 		env.Detector = kg.NewDetector()
+	}
+	if env.Cache == nil {
+		env.Cache = NewInvokeCache(DefaultInvokeCacheSize)
 	}
 	r := NewRegistry()
 	registerUtil(r, env)

@@ -1,0 +1,143 @@
+package apis
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"chatgraph/internal/graph"
+)
+
+// cacheKey identifies one memoizable invocation: the graph instance, its
+// mutation version at invoke time, the API, and the canonicalized arguments.
+// The graph pointer is part of the key (versions are per-graph counters, so
+// two different graphs can share a version number); while an entry lives in
+// the cache it keeps its graph reachable, which also rules out a recycled
+// address colliding with a stale entry.
+type cacheKey struct {
+	graph   *graph.Graph
+	version uint64
+	api     string
+	args    string
+}
+
+// InvokeCache is a bounded, concurrency-safe LRU over API invocation
+// outputs. The executor consults it through Registry.Invoke: a repeated
+// memoizable step on an unmutated graph returns the stored Output without
+// re-running the API. Cached Outputs are shared — callers must treat the
+// Data payload as read-only (every built-in API does).
+type InvokeCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // most-recent first; values are *cacheEntry
+	entries  map[cacheKey]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	out Output
+}
+
+// DefaultInvokeCacheSize bounds the Env cache Default installs.
+const DefaultInvokeCacheSize = 256
+
+// NewInvokeCache returns an LRU holding at most capacity entries
+// (capacity <= 0 gets DefaultInvokeCacheSize).
+func NewInvokeCache(capacity int) *InvokeCache {
+	if capacity <= 0 {
+		capacity = DefaultInvokeCacheSize
+	}
+	return &InvokeCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *InvokeCache) get(k cacheKey) (Output, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return Output{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+func (c *InvokeCache) put(k cacheKey, out Output) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).out = out
+		c.ll.MoveToFront(el)
+		return
+	}
+	// A new version of a graph means every entry for its older versions is
+	// dead — drop them now instead of letting them pin the graph until LRU
+	// eviction. O(capacity) walk, paid once per cold (recomputing) call.
+	var stale []*list.Element
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*cacheEntry); e.key.graph == k.graph && e.key.version != k.version {
+			stale = append(stale, el)
+		}
+	}
+	for _, el := range stale {
+		c.ll.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).key)
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, out: out})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of live entries.
+func (c *InvokeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the lifetime hit and miss counts.
+func (c *InvokeCache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// canonicalArgs renders args as a deterministic key-sorted list, so two
+// invocations with the same argument map hash to the same cache key. Every
+// token is length-prefixed: separator bytes appearing inside keys or values
+// (chain args arrive from JSON, which permits any byte) can never make two
+// different maps collide.
+func canonicalArgs(args map[string]string) string {
+	if len(args) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(len(args[k])))
+		b.WriteByte(':')
+		b.WriteString(args[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 func registerExtended(r *Registry, _ *Env) {
 	r.mustRegister(API{
 		Name:        "structure.kcore",
+		Memoizable:  true,
 		Description: "Compute the k-core decomposition of the network to find its most cohesive subgroups.",
 		Category:    "understand",
 		Fn: func(in Input) (Output, error) {
@@ -35,6 +36,7 @@ func registerExtended(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "structure.cliques",
+		Memoizable:  true,
 		Description: "Enumerate the maximal cliques of the network, the tightly knit groups where everyone knows everyone.",
 		Category:    "understand",
 		Params: []Param{
@@ -56,6 +58,7 @@ func registerExtended(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "structure.assortativity",
+		Memoizable:  true,
 		Description: "Measure degree assortativity: whether hubs connect to hubs or to peripheral nodes.",
 		Category:    "understand",
 		Fn: func(in Input) (Output, error) {
@@ -75,6 +78,7 @@ func registerExtended(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "path.weighted",
+		Memoizable:  true,
 		Description: "Compute the minimum weight route between two nodes using the edge weights.",
 		Category:    "understand",
 		Params: []Param{
@@ -104,6 +108,7 @@ func registerExtended(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "structure.center",
+		Memoizable:  true,
 		Description: "Find the center of the graph: the nodes with the smallest eccentricity, plus the radius and diameter.",
 		Category:    "understand",
 		Fn: func(in Input) (Output, error) {
@@ -117,6 +122,7 @@ func registerExtended(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "structure.coloring",
+		Memoizable:  true,
 		Description: "Color the graph so adjacent nodes differ, reporting how many colors the greedy heuristic needs.",
 		Category:    "understand",
 		Fn: func(in Input) (Output, error) {
@@ -129,6 +135,7 @@ func registerExtended(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "structure.spanning_tree",
+		Memoizable:  true,
 		Description: "Compute a minimum weight spanning tree of the graph and its total weight.",
 		Category:    "understand",
 		Fn: func(in Input) (Output, error) {
@@ -141,6 +148,7 @@ func registerExtended(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "molecule.substructure",
+		Memoizable:  true,
 		Description: "Search the molecule for functional group substructures like hydroxyl, amine, and halide motifs.",
 		Category:    "molecule",
 		Kinds:       []graph.Kind{graph.KindMolecule},

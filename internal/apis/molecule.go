@@ -149,6 +149,7 @@ func riskBand(score float64) string {
 func registerMolecule(r *Registry, _ *Env) {
 	r.mustRegister(API{
 		Name:        "molecule.formula",
+		Memoizable:  true,
 		Description: "Compute the molecular formula and molecular weight of a chemical molecule.",
 		Category:    "molecule",
 		Kinds:       []graph.Kind{graph.KindMolecule},
@@ -162,6 +163,7 @@ func registerMolecule(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "molecule.toxicity",
+		Memoizable:  true,
 		Description: "Predict the toxicity of a chemical molecule from its structure.",
 		Category:    "molecule",
 		Kinds:       []graph.Kind{graph.KindMolecule},
@@ -177,6 +179,7 @@ func registerMolecule(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "molecule.solubility",
+		Memoizable:  true,
 		Description: "Predict the aqueous solubility of a chemical molecule.",
 		Category:    "molecule",
 		Kinds:       []graph.Kind{graph.KindMolecule},
@@ -192,6 +195,7 @@ func registerMolecule(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "molecule.logp",
+		Memoizable:  true,
 		Description: "Estimate the lipophilicity logP of a chemical molecule.",
 		Category:    "molecule",
 		Kinds:       []graph.Kind{graph.KindMolecule},
@@ -205,6 +209,7 @@ func registerMolecule(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "molecule.rings",
+		Memoizable:  true,
 		Description: "Count the rings and ring systems in a chemical molecule.",
 		Category:    "molecule",
 		Kinds:       []graph.Kind{graph.KindMolecule},

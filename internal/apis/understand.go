@@ -14,6 +14,7 @@ import (
 func registerUnderstand(r *Registry, _ *Env) {
 	r.mustRegister(API{
 		Name:        "community.detect",
+		Memoizable:  true,
 		Description: "Detect communities and clusters in a social network using label propagation and report their sizes and modularity.",
 		Category:    "understand",
 		Kinds:       []graph.Kind{graph.KindSocial},
@@ -31,6 +32,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "connectivity.components",
+		Memoizable:  true,
 		Description: "Compute the connected components of the graph and report their count and sizes.",
 		Category:    "understand",
 		Fn: func(in Input) (Output, error) {
@@ -48,6 +50,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "connectivity.bridges",
+		Memoizable:  true,
 		Description: "Find bridge edges and articulation points whose removal disconnects the network.",
 		Category:    "understand",
 		Kinds:       []graph.Kind{graph.KindSocial},
@@ -61,6 +64,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "centrality.degree",
+		Memoizable:  true,
 		Description: "Rank the most connected nodes by degree centrality to find hubs.",
 		Category:    "understand",
 		Params: []Param{
@@ -76,6 +80,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "centrality.pagerank",
+		Memoizable:  true,
 		Description: "Rank influential nodes using PageRank centrality.",
 		Category:    "understand",
 		Params: []Param{
@@ -89,6 +94,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "centrality.betweenness",
+		Memoizable:  true,
 		Description: "Rank broker nodes that lie on many shortest paths using betweenness centrality.",
 		Category:    "understand",
 		Kinds:       []graph.Kind{graph.KindSocial},
@@ -102,6 +108,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "centrality.closeness",
+		Memoizable:  true,
 		Description: "Rank central nodes that can reach everyone quickly using closeness centrality.",
 		Category:    "understand",
 		Params: []Param{
@@ -114,6 +121,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "path.shortest",
+		Memoizable:  true,
 		Description: "Compute the shortest path between two nodes of the graph.",
 		Category:    "understand",
 		Params: []Param{
@@ -143,6 +151,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "structure.density",
+		Memoizable:  true,
 		Description: "Measure how dense or sparse the graph is and summarize its degree distribution.",
 		Category:    "understand",
 		Fn: func(in Input) (Output, error) {
@@ -156,6 +165,7 @@ func registerUnderstand(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "structure.triangles",
+		Memoizable:  true,
 		Description: "Count triangles and measure the clustering coefficient of the network.",
 		Category:    "understand",
 		Fn: func(in Input) (Output, error) {
@@ -241,11 +251,12 @@ func LabelPropagation(g *graph.Graph, maxIters int) []int {
 	if maxIters <= 0 {
 		maxIters = 20
 	}
+	c := g.Freeze()
 	for iter := 0; iter < maxIters; iter++ {
 		changed := false
 		for u := 0; u < n; u++ {
 			counts := make(map[int]int)
-			for _, nb := range g.Neighbors(graph.NodeID(u)) {
+			for _, nb := range c.OutNeighbors(graph.NodeID(u)) {
 				counts[labels[nb]]++
 			}
 			if len(counts) == 0 {
@@ -313,6 +324,7 @@ func PageRank(g *graph.Graph, damping float64, iters int) []float64 {
 	if n == 0 {
 		return nil
 	}
+	c := g.Freeze()
 	pr := make([]float64, n)
 	next := make([]float64, n)
 	for i := range pr {
@@ -325,7 +337,7 @@ func PageRank(g *graph.Graph, damping float64, iters int) []float64 {
 			next[i] = base
 		}
 		for u := 0; u < n; u++ {
-			outs := g.Neighbors(graph.NodeID(u))
+			outs := c.OutNeighbors(graph.NodeID(u))
 			if len(outs) == 0 {
 				danglingMass += pr[u]
 				continue
@@ -357,6 +369,7 @@ func PageRank(g *graph.Graph, damping float64, iters int) []float64 {
 // Brandes' algorithm on the undirected view of g.
 func Betweenness(g *graph.Graph) []float64 {
 	n := g.NumNodes()
+	c := g.Freeze()
 	bc := make([]float64, n)
 	for s := 0; s < n; s++ {
 		// Single-source shortest paths with path counting.
@@ -374,7 +387,7 @@ func Betweenness(g *graph.Graph) []float64 {
 			v := queue[0]
 			queue = queue[1:]
 			stack = append(stack, v)
-			for _, w := range g.Neighbors(graph.NodeID(v)) {
+			for _, w := range c.OutNeighbors(graph.NodeID(v)) {
 				if dist[w] < 0 {
 					dist[w] = dist[v] + 1
 					queue = append(queue, int(w))
@@ -438,11 +451,12 @@ func ShortestPath(g *graph.Graph, src, dst graph.NodeID) []graph.NodeID {
 		parent[i] = -1
 	}
 	parent[src] = src
+	c := g.Freeze()
 	queue := []graph.NodeID{src}
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.Neighbors(u) {
+		for _, v := range c.OutNeighbors(u) {
 			if parent[v] >= 0 {
 				continue
 			}
@@ -475,6 +489,7 @@ func BridgesAndArticulation(g *graph.Graph) ([][2]graph.NodeID, []graph.NodeID) 
 	}
 	var bridges [][2]graph.NodeID
 	isArt := make([]bool, n)
+	c := g.Freeze()
 	timer := 0
 	var dfs func(u, parent int)
 	dfs = func(u, parent int) {
@@ -483,7 +498,7 @@ func BridgesAndArticulation(g *graph.Graph) ([][2]graph.NodeID, []graph.NodeID) 
 		timer++
 		children := 0
 		parentSkipped := false
-		for _, vID := range g.Neighbors(graph.NodeID(u)) {
+		for _, vID := range c.OutNeighbors(graph.NodeID(u)) {
 			v := int(vID)
 			if v == parent && !parentSkipped {
 				parentSkipped = true // skip the tree edge once; parallel edges count

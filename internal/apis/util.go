@@ -12,6 +12,7 @@ import (
 func registerUtil(r *Registry, _ *Env) {
 	r.mustRegister(API{
 		Name:        "graph.classify",
+		Memoizable:  true,
 		Description: "Predict whether the uploaded graph is a social network, a chemical molecule, or a knowledge graph.",
 		Category:    "util",
 		Fn: func(in Input) (Output, error) {
@@ -24,6 +25,7 @@ func registerUtil(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "graph.stats",
+		Memoizable:  true,
 		Description: "Summarize the basic statistics of the graph: nodes, edges, density, degrees, components, and clustering.",
 		Category:    "util",
 		Fn: func(in Input) (Output, error) {
@@ -63,6 +65,7 @@ func registerUtil(r *Registry, _ *Env) {
 	})
 	r.mustRegister(API{
 		Name:        "graph.sample_neighborhood",
+		Memoizable:  true,
 		Description: "Extract the neighborhood subgraph within a number of hops around a node.",
 		Category:    "util",
 		Params: []Param{

@@ -47,6 +47,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = apis.Default(cfg.Env)
 	}
+	if cfg.Env.Cache == nil {
+		// Engines always memoize: sessions asking follow-up questions about
+		// one unmutated graph short-circuit repeated analyses through the
+		// invocation LRU (apis.Default installs one, but a caller-supplied
+		// Registry+Env pair may arrive without it).
+		cfg.Env.Cache = apis.NewInvokeCache(apis.DefaultInvokeCacheSize)
+	}
 	if cfg.RetrievalK <= 0 {
 		cfg.RetrievalK = 6
 	}

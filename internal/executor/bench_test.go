@@ -1,0 +1,45 @@
+package executor
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/chain"
+	"chatgraph/internal/graph"
+)
+
+// BenchmarkExecutorCached compares a chain re-executed against an unmutated
+// graph (served by the invocation cache) with the same chain forced cold by
+// a version bump every iteration.
+func BenchmarkExecutorCached(b *testing.B) {
+	env := &apis.Env{}
+	reg := apis.Default(env)
+	ex := New(reg, env)
+	g := graph.BarabasiAlbert(400, 3, rand.New(rand.NewSource(1)))
+	c := chain.Chain{chain.NewStep("graph.stats"), chain.NewStep("structure.kcore")}
+	ctx := context.Background()
+
+	b.Run("cached", func(b *testing.B) {
+		if _, err := ex.Run(ctx, g, c, Options{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Run(ctx, g, c, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.SetNodeLabel(0, "v") // bump the version: full recompute
+			if _, err := ex.Run(ctx, g, c, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package executor
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/chain"
+	"chatgraph/internal/graph"
+)
+
+// TestRunCachedStep: repeating a chain step on an unmutated graph must be
+// served from the Env invocation cache without re-running the API, and a
+// mutation must invalidate it.
+func TestRunCachedStep(t *testing.T) {
+	env := &apis.Env{Cache: apis.NewInvokeCache(16)}
+	reg := apis.Default(env)
+	runs := 0
+	if err := reg.Register(apis.API{
+		Name:        "test.counted",
+		Description: "counting analysis",
+		Category:    "util",
+		Memoizable:  true,
+		Fn: func(in apis.Input) (apis.Output, error) {
+			runs++
+			return apis.Output{Text: "counted"}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ex := New(reg, env)
+	g := graph.BarabasiAlbert(30, 2, rand.New(rand.NewSource(2)))
+	c := chain.Chain{chain.NewStep("test.counted")}
+
+	for i := 0; i < 3; i++ {
+		res, err := ex.Run(context.Background(), g, c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Final.Text != "counted" {
+			t.Fatalf("run %d: final %q", i, res.Final.Text)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("API ran %d times across 3 executor runs, want 1 (cache miss only)", runs)
+	}
+
+	// Mutate → version bump → the next run recomputes exactly once more.
+	g.SetNodeLabel(0, "renamed")
+	if _, err := ex.Run(context.Background(), g, c, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(context.Background(), g, c, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("API ran %d times after mutation, want 2", runs)
+	}
+}
+
+// TestRunCachedStepStillEmitsEvents: cache hits keep the monitoring
+// contract — every step still produces start/done events.
+func TestRunCachedStepStillEmitsEvents(t *testing.T) {
+	ex, g := setup()
+	c := chain.Chain{chain.NewStep("graph.stats")}
+	if _, err := ex.Run(context.Background(), g, c, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var events []EventType
+	_, err := ex.Run(context.Background(), g, c, Options{OnEvent: func(e Event) { events = append(events, e.Type) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EventType{EventChainStart, EventStepStart, EventStepDone, EventChainDone}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+// TestConcurrentRunsSharedFrozenGraph hammers concurrent chain executions
+// over one shared graph (run with -race): all workers share the frozen CSR,
+// its stats/kind memos, and the invocation LRU.
+func TestConcurrentRunsSharedFrozenGraph(t *testing.T) {
+	env := &apis.Env{}
+	reg := apis.Default(env)
+	ex := New(reg, env)
+	g := graph.BarabasiAlbert(150, 3, rand.New(rand.NewSource(13)))
+	chains := []chain.Chain{
+		{chain.NewStep("graph.stats")},
+		{chain.NewStep("structure.kcore")},
+		{chain.NewStep("structure.center")},
+		{chain.NewStep("centrality.pagerank"), chain.NewStep("report.compose")},
+		{chain.NewStep("structure.triangles")},
+		{chain.NewStep("structure.coloring")},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				c := chains[(w+i)%len(chains)]
+				if _, err := ex.Run(context.Background(), g, c, Options{}); err != nil {
+					t.Errorf("chain %v: %v", c, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -2,6 +2,13 @@
 // and monitoring hooks of the paper's fourth demonstration scenario: a user
 // confirms (and may edit) the generated chain before execution, then watches
 // per-step progress events while it runs.
+//
+// Execution is memoizing: steps route through apis.Registry.Invoke, which
+// serves Memoizable APIs from the Env's bounded invocation LRU keyed by
+// (graph version, API, args). Re-running a chain against an unmutated graph
+// therefore emits the same events and outputs without recomputing anything;
+// any graph mutation bumps the version and invalidates every dependent
+// entry.
 package executor
 
 import (

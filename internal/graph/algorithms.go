@@ -1,66 +1,81 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 	"sort"
+
+	"chatgraph/internal/parallel"
 )
 
 // Additional whole-graph algorithms backing the extended API catalog:
 // k-core decomposition, maximal cliques, degree assortativity, weighted
 // shortest paths, eccentricity/radius/center, greedy coloring, and minimum
 // spanning trees. All operate on the undirected view unless noted.
+//
+// Every traversal-heavy algorithm here runs on the frozen CSR view
+// (Graph.Freeze) with pooled scratch, and the all-source ones fan their
+// independent sources across parallel.ForEach — the same flat-contiguous +
+// pooled-scratch + bounded-worker recipe the vector layer uses.
 
 // CoreNumbers returns, for every node, the largest k such that the node
 // belongs to the k-core (the maximal subgraph with minimum degree ≥ k),
-// using the Matula–Beck peeling order in O(V + E).
+// using the Matula–Beck peeling order in O(V + E) over the undirected CSR
+// view. Parallel edges each count toward the degree, matching the
+// edge-list-based implementation this replaced.
 func CoreNumbers(g *Graph) []int {
-	n := g.NumNodes()
-	deg := make([]int, n)
-	und := make([][]NodeID, n)
-	for _, e := range g.Edges() {
-		und[e.From] = append(und[e.From], e.To)
-		und[e.To] = append(und[e.To], e.From)
+	c := g.Freeze()
+	n := c.n
+	core := make([]int, n)
+	if n == 0 {
+		return core
 	}
-	maxDeg := 0
-	for i := range deg {
-		deg[i] = len(und[i])
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for i := 0; i < n; i++ {
+		deg[i] = int32(c.undDegree(NodeID(i)))
 		if deg[i] > maxDeg {
 			maxDeg = deg[i]
 		}
 	}
-	// Bucket sort nodes by degree.
-	buckets := make([][]NodeID, maxDeg+1)
-	for i, d := range deg {
-		buckets[d] = append(buckets[d], NodeID(i))
+	// Counting-sort nodes by degree: bin[d] is the start of degree-d nodes
+	// in vert; pos[v] is v's index in vert.
+	bin := make([]int32, maxDeg+2)
+	for _, d := range deg {
+		bin[d+1]++
 	}
-	core := make([]int, n)
-	removed := make([]bool, n)
-	cur := make([]int, n)
-	copy(cur, deg)
-	for d := 0; d <= maxDeg; d++ {
-		for len(buckets[d]) > 0 {
-			u := buckets[d][len(buckets[d])-1]
-			buckets[d] = buckets[d][:len(buckets[d])-1]
-			if removed[u] || cur[u] != d {
-				continue // stale bucket entry
-			}
-			removed[u] = true
-			core[u] = d
-			for _, v := range und[u] {
-				if removed[v] || cur[v] <= d {
-					continue
+	for d := int32(0); d <= maxDeg; d++ {
+		bin[d+1] += bin[d]
+	}
+	vert := make([]int32, n)
+	pos := make([]int32, n)
+	fill := make([]int32, maxDeg+1)
+	copy(fill, bin[:maxDeg+1])
+	for v := int32(0); int(v) < n; v++ {
+		p := fill[deg[v]]
+		fill[deg[v]]++
+		vert[p] = v
+		pos[v] = p
+	}
+	// Peel in nondecreasing degree order; when u is removed, each heavier
+	// neighbor loses one degree and swaps down into the next bucket.
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		core[u] = int(deg[u])
+		for _, vn := range c.undNeighbors(NodeID(u)) {
+			v := int32(vn)
+			if deg[v] > deg[u] {
+				dv := deg[v]
+				pv := pos[v]
+				pw := bin[dv]
+				w := vert[pw]
+				if v != w {
+					vert[pv], vert[pw] = w, v
+					pos[v], pos[w] = pw, pv
 				}
-				cur[v]--
-				buckets[cur[v]] = append(buckets[cur[v]], v)
-				if cur[v] < d {
-					// Can't happen: cur[v] was > d and decremented once.
-					continue
-				}
+				bin[dv]++
+				deg[v]--
 			}
 		}
-		// Nodes pushed into lower buckets while peeling are handled when
-		// their bucket index comes up; stale entries are skipped above.
 	}
 	return core
 }
@@ -76,12 +91,66 @@ func Degeneracy(g *Graph) int {
 	return max
 }
 
+// bitAdjacencyMaxNodes bounds the dense n×n bitset the clique search
+// prefers: 4096 nodes cost 2 MB. Above it, membership falls back to binary
+// search over the sorted CSR rows — O(log d) per test, no extra memory —
+// instead of allocating O(n²) bits for a sparse upload.
+const bitAdjacencyMaxNodes = 4096
+
+// adjacencyTest returns an O(1)-ish membership test over the forward
+// adjacency (asymmetric for directed graphs, matching the adjacencySets
+// semantics the map-based clique search used).
+func adjacencyTest(c *CSR) func(u, v NodeID) bool {
+	if c.n > bitAdjacencyMaxNodes {
+		return sparseAdjacencyTest(c)
+	}
+	return denseAdjacencyTest(c)
+}
+
+// sparseAdjacencyTest binary-searches the sorted CSR row: O(log d) per
+// test, zero extra memory.
+func sparseAdjacencyTest(c *CSR) func(u, v NodeID) bool {
+	return func(u, v NodeID) bool {
+		row := c.OutNeighbors(u)
+		lo, hi := 0, len(row)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if row[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(row) && row[lo] == v
+	}
+}
+
+// denseAdjacencyTest materializes the n×n bitset: O(1) per test,
+// n²/8 bytes.
+func denseAdjacencyTest(c *CSR) func(u, v NodeID) bool {
+	words := (c.n + 63) / 64
+	bits := make([]uint64, c.n*words)
+	for u := 0; u < c.n; u++ {
+		row := bits[u*words : (u+1)*words]
+		for _, v := range c.OutNeighbors(NodeID(u)) {
+			row[int(v)>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+	return func(u, v NodeID) bool {
+		return bits[int(u)*words+int(v)>>6]&(1<<(uint(v)&63)) != 0
+	}
+}
+
 // MaximalCliques enumerates all maximal cliques with Bron–Kerbosch and
 // pivoting, stopping after maxCliques (0 = unlimited). Cliques are returned
-// with sorted members.
+// with sorted members. Adjacency tests run against a dense bitset (small
+// graphs) or binary search over the frozen CSR rows (large ones); the
+// recursion structure (and therefore the output order) matches the
+// map-based implementation this replaced.
 func MaximalCliques(g *Graph, maxCliques int) [][]NodeID {
-	n := g.NumNodes()
-	adj := adjacencySets(g)
+	c := g.Freeze()
+	n := c.n
+	adj := adjacencyTest(c)
 	var out [][]NodeID
 	var bk func(r, p, x []NodeID)
 	bk = func(r, p, x []NodeID) {
@@ -90,7 +159,7 @@ func MaximalCliques(g *Graph, maxCliques int) [][]NodeID {
 		}
 		if len(p) == 0 && len(x) == 0 {
 			clique := append([]NodeID(nil), r...)
-			sort.Slice(clique, func(i, j int) bool { return clique[i] < clique[j] })
+			sortNodeIDs(clique)
 			out = append(out, clique)
 			return
 		}
@@ -101,7 +170,7 @@ func MaximalCliques(g *Graph, maxCliques int) [][]NodeID {
 			for _, u := range cand {
 				cnt := 0
 				for _, v := range p {
-					if adj[u][v] {
+					if adj(u, v) {
 						cnt++
 					}
 				}
@@ -112,19 +181,19 @@ func MaximalCliques(g *Graph, maxCliques int) [][]NodeID {
 		}
 		var frontier []NodeID
 		for _, v := range p {
-			if pivot < 0 || !adj[pivot][v] {
+			if pivot < 0 || !adj(pivot, v) {
 				frontier = append(frontier, v)
 			}
 		}
 		for _, v := range frontier {
 			var np, nx []NodeID
 			for _, w := range p {
-				if adj[v][w] {
+				if adj(v, w) {
 					np = append(np, w)
 				}
 			}
 			for _, w := range x {
-				if adj[v][w] {
+				if adj(v, w) {
 					nx = append(nx, w)
 				}
 			}
@@ -186,104 +255,93 @@ func Assortativity(g *Graph) float64 {
 	return num / den
 }
 
-// dijkstraItem is a priority-queue entry.
-type dijkstraItem struct {
-	node NodeID
-	dist float64
-}
-
-type dijkstraHeap []dijkstraItem
-
-func (h dijkstraHeap) Len() int            { return len(h) }
-func (h dijkstraHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h dijkstraHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *dijkstraHeap) Push(x interface{}) { *h = append(*h, x.(dijkstraItem)) }
-func (h *dijkstraHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // WeightedShortestPath returns the minimum-weight path from src to dst using
-// edge weights (Dijkstra; weights must be non-negative) and its total
-// weight. A nil path means unreachable.
+// edge weights (Dijkstra; negative weights are clamped to 0) and its total
+// weight. A nil path means unreachable. Distance, parent, and heap state all
+// come from the pooled traversal scratch; only the returned path allocates.
 func WeightedShortestPath(g *Graph, src, dst NodeID) ([]NodeID, float64) {
-	n := g.NumNodes()
+	c := g.Freeze()
+	n := c.n
 	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
 		return nil, math.Inf(1)
 	}
-	dist := make([]float64, n)
-	parent := make([]NodeID, n)
+	sc := getTrav(n)
+	defer putTrav(sc)
+	dist := sc.floats(n)
+	parent := sc.parents(n)
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		parent[i] = -1
 	}
 	dist[src] = 0
-	h := &dijkstraHeap{{src, 0}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(dijkstraItem)
+	h := sc.heap[:0]
+	defer func() { sc.heap = h[:0] }()
+	heapPush(&h, heapEntry{int32(src), 0})
+	for len(h) > 0 {
+		it := heapPop(&h)
 		if it.dist > dist[it.node] {
 			continue
 		}
-		if it.node == dst {
+		if NodeID(it.node) == dst {
 			break
 		}
-		for _, ei := range g.adj[it.node] {
-			e := g.edges[ei]
-			v := e.To
-			if e.From != it.node {
-				v = e.From
-			}
-			w := e.Weight
+		row := c.OutNeighbors(NodeID(it.node))
+		ws := c.OutWeights(NodeID(it.node))
+		for i, v := range row {
+			w := ws[i]
 			if w < 0 {
 				w = 0
 			}
 			if nd := it.dist + w; nd < dist[v] {
 				dist[v] = nd
 				parent[v] = it.node
-				heap.Push(h, dijkstraItem{v, nd})
+				heapPush(&h, heapEntry{int32(v), nd})
 			}
 		}
 	}
 	if math.IsInf(dist[dst], 1) {
 		return nil, math.Inf(1)
 	}
-	var rev []NodeID
-	for cur := dst; cur != -1; cur = parent[cur] {
-		rev = append(rev, cur)
-		if cur == src {
-			break
+	total := dist[dst]
+	// Walk the parent chain once to size the path exactly, then fill it
+	// back-to-front — one allocation for the returned path.
+	hops := 1
+	for cur := dst; cur != src && parent[cur] != -1; cur = NodeID(parent[cur]) {
+		hops++
+	}
+	path := make([]NodeID, hops)
+	cur := dst
+	for i := hops - 1; i >= 0; i-- {
+		path[i] = cur
+		if cur != src {
+			cur = NodeID(parent[cur])
 		}
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev, dist[dst]
+	return path, total
 }
 
 // Eccentricities returns each node's eccentricity (max BFS distance to any
-// reachable node), plus the radius (min eccentricity) and diameter (max) of
-// the largest component. Isolated nodes get eccentricity 0.
+// reachable node), plus the radius (min positive eccentricity) and diameter
+// (max eccentricity). Isolated nodes get eccentricity 0. The independent
+// per-source BFS sweeps fan out across parallel.ForEach, each worker leasing
+// its own pooled scratch, so the whole computation allocates only the
+// eccentricity slice.
 func Eccentricities(g *Graph) (ecc []int, radius, diameter int) {
-	n := g.NumNodes()
+	c := g.Freeze()
+	n := c.n
 	ecc = make([]int, n)
+	parallel.ForEach(n, func(u int) {
+		sc := getTrav(n)
+		ecc[u] = int(c.eccFrom(int32(u), sc))
+		putTrav(sc)
+	})
 	radius = math.MaxInt
-	for u := 0; u < n; u++ {
-		max := 0
-		g.BFS(NodeID(u), func(_ NodeID, d int) bool {
-			if d > max {
-				max = d
-			}
-			return true
-		})
-		ecc[u] = max
-		if max > diameter {
-			diameter = max
+	for _, e := range ecc {
+		if e > diameter {
+			diameter = e
 		}
-		if max > 0 && max < radius {
-			radius = max
+		if e > 0 && e < radius {
+			radius = e
 		}
 	}
 	if radius == math.MaxInt {
@@ -306,15 +364,18 @@ func Center(g *Graph) []NodeID {
 
 // GreedyColoring colors nodes in descending-degree order with the smallest
 // available color, returning per-node colors and the color count. Optimal
-// only for special graphs, but a standard quality/speed tradeoff.
+// only for special graphs, but a standard quality/speed tradeoff. The
+// per-node "colors taken by neighbors" set is a stamped scratch array, not a
+// map, so coloring allocates only the order and color slices.
 func GreedyColoring(g *Graph) ([]int, int) {
-	n := g.NumNodes()
+	c := g.Freeze()
+	n := c.n
 	order := make([]NodeID, n)
 	for i := range order {
 		order[i] = NodeID(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		di, dj := c.OutDegree(order[i]), c.OutDegree(order[j])
 		if di != dj {
 			return di > dj
 		}
@@ -324,21 +385,27 @@ func GreedyColoring(g *Graph) ([]int, int) {
 	for i := range colors {
 		colors[i] = -1
 	}
+	sc := getTrav(n)
+	defer putTrav(sc)
+	taken := sc.intMarks(n + 1)
+	for i := range taken {
+		taken[i] = -1
+	}
 	maxColor := -1
-	for _, u := range order {
-		taken := make(map[int]bool)
-		for _, v := range g.Neighbors(u) {
+	for round, u := range order {
+		stamp := int32(round)
+		for _, v := range c.OutNeighbors(u) {
 			if colors[v] >= 0 {
-				taken[colors[v]] = true
+				taken[colors[v]] = stamp
 			}
 		}
-		c := 0
-		for taken[c] {
-			c++
+		col := 0
+		for taken[col] == stamp {
+			col++
 		}
-		colors[u] = c
-		if c > maxColor {
-			maxColor = c
+		colors[u] = col
+		if col > maxColor {
+			maxColor = col
 		}
 	}
 	return colors, maxColor + 1

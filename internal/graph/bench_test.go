@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -12,7 +13,9 @@ func benchGraph(b *testing.B, n int) *Graph {
 
 func BenchmarkBFS(b *testing.B) {
 	g := benchGraph(b, 2000)
+	g.Freeze()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.BFS(0, func(NodeID, int) bool { return true })
 	}
@@ -20,23 +23,63 @@ func BenchmarkBFS(b *testing.B) {
 
 func BenchmarkConnectedComponents(b *testing.B) {
 	g := benchGraph(b, 2000)
+	g.Freeze()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.ConnectedComponents()
 	}
 }
 
 func BenchmarkComputeStats(b *testing.B) {
-	g := benchGraph(b, 500)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	b.Run("cold", func(b *testing.B) {
+		g := benchGraph(b, 500)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.SetNodeLabel(0, "v") // version bump: full freeze + recompute
+			ComputeStats(g)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		g := benchGraph(b, 500)
 		ComputeStats(g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ComputeStats(g)
+		}
+	})
+}
+
+func BenchmarkFreeze(b *testing.B) {
+	g := benchGraph(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SetNodeLabel(0, "v") // invalidate so every iteration rebuilds
+		g.Freeze()
+	}
+}
+
+func BenchmarkEccentricities(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		g := benchGraph(b, n)
+		g.Freeze()
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Eccentricities(g)
+			}
+		})
 	}
 }
 
 func BenchmarkCoreNumbers(b *testing.B) {
 	g := benchGraph(b, 2000)
+	g.Freeze()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		CoreNumbers(g)
 	}
@@ -44,7 +87,9 @@ func BenchmarkCoreNumbers(b *testing.B) {
 
 func BenchmarkMaximalCliques(b *testing.B) {
 	g := benchGraph(b, 300)
+	g.Freeze()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MaximalCliques(g, 0)
 	}
@@ -52,7 +97,9 @@ func BenchmarkMaximalCliques(b *testing.B) {
 
 func BenchmarkWeightedShortestPath(b *testing.B) {
 	g := benchGraph(b, 2000)
+	g.Freeze()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		WeightedShortestPath(g, 0, NodeID(g.NumNodes()-1))
 	}

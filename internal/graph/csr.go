@@ -1,0 +1,396 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+)
+
+// CSR is the frozen, read-only adjacency view of one Graph version, laid out
+// in compressed-sparse-row form: one contiguous targets array per direction
+// with per-node offset fences. Neighbor iteration is a subslice — no
+// allocation, no sorting, no edge-table indirection — which is what makes the
+// all-source algorithms (eccentricities, triangles, core numbers) cheap
+// enough to parallelize.
+//
+// A CSR is immutable and safe for unlimited concurrent use. It snapshots the
+// topology, weights, and the label/attribute signals Stats and Classify
+// need, so it stays self-contained even if the parent graph mutates later
+// (Freeze hands out a fresh CSR after any mutation). Per-node rows are
+// sorted by neighbor ID, matching the order Graph.Neighbors reports, so
+// traversals over the CSR visit nodes in exactly the order the slice-based
+// implementations did. Parallel edges keep one entry each.
+type CSR struct {
+	version  uint64
+	directed bool
+	n, m     int
+
+	// Forward adjacency: out-edges for directed graphs, all incident edges
+	// for undirected ones (the Graph.Neighbors contract). weights[i] is the
+	// edge weight for targets[i].
+	offsets []int32
+	targets []NodeID
+	weights []float64
+
+	// Reverse adjacency (directed only): in-edges per node.
+	roffsets []int32
+	rtargets []NodeID
+
+	// Undirected view: both endpoints of every edge. For undirected graphs
+	// these alias the forward arrays.
+	uoffsets []int32
+	utargets []NodeID
+
+	// Label/attribute signals snapshotted at freeze time so Stats and
+	// Classify never have to re-read (possibly mutated) node state.
+	labels     []string
+	elementish int // nodes that look like chemical elements
+	typed      int // nodes with a person/place/org type attribute
+	relLabeled int // edges with a non-bond relation label
+
+	statsOnce sync.Once
+	stats     Stats
+	kindOnce  sync.Once
+	kind      Kind
+}
+
+// Freeze returns the CSR view of g's current version, building it on first
+// use and caching it until the next mutation. Concurrent Freeze calls on an
+// unmutated graph share one CSR; the build itself is O(V + E log d).
+func (g *Graph) Freeze() *CSR {
+	g.frozenMu.Lock()
+	defer g.frozenMu.Unlock()
+	if g.frozen == nil || g.frozen.version != g.version {
+		g.frozen = buildCSR(g)
+	}
+	return g.frozen
+}
+
+// rowSorter sorts one adjacency row by target ID, keeping the parallel
+// weight array aligned. Implementing sort.Interface directly avoids the
+// per-row closure allocations sort.Slice would pay.
+type rowSorter struct {
+	t []NodeID
+	w []float64
+}
+
+func (r rowSorter) Len() int           { return len(r.t) }
+func (r rowSorter) Less(i, j int) bool { return r.t[i] < r.t[j] }
+func (r rowSorter) Swap(i, j int) {
+	r.t[i], r.t[j] = r.t[j], r.t[i]
+	if r.w != nil {
+		r.w[i], r.w[j] = r.w[j], r.w[i]
+	}
+}
+
+// insertionSortRow sorts small rows in place; buildCSR falls back to
+// sort.Sort above a small cutoff.
+func insertionSortRow(t []NodeID, w []float64) {
+	for i := 1; i < len(t); i++ {
+		for j := i; j > 0 && t[j] < t[j-1]; j-- {
+			t[j], t[j-1] = t[j-1], t[j]
+			if w != nil {
+				w[j], w[j-1] = w[j-1], w[j]
+			}
+		}
+	}
+}
+
+func sortRows(offsets []int32, targets []NodeID, weights []float64) {
+	for u := 0; u+1 < len(offsets); u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		t := targets[lo:hi]
+		var w []float64
+		if weights != nil {
+			w = weights[lo:hi]
+		}
+		if len(t) <= 24 {
+			insertionSortRow(t, w)
+		} else {
+			sort.Sort(rowSorter{t, w})
+		}
+	}
+}
+
+func buildCSR(g *Graph) *CSR {
+	n := len(g.nodes)
+	m := len(g.edges)
+	c := &CSR{version: g.version, directed: g.directed, n: n, m: m}
+
+	c.labels = make([]string, n)
+	for i := range g.nodes {
+		nd := &g.nodes[i]
+		c.labels[i] = nd.Label
+		if isElementSymbol(nd.Label) || nd.Attrs["element"] != "" {
+			c.elementish++
+		}
+		if t := nd.Attrs["type"]; t == "person" || t == "place" || t == "org" {
+			c.typed++
+		}
+	}
+	for i := range g.edges {
+		if l := g.edges[i].Label; l != "" && l != "bond" {
+			c.relLabeled++
+		}
+	}
+
+	// Forward adjacency (Graph.Neighbors order).
+	fwd := m
+	if !g.directed {
+		fwd = 2 * m
+	}
+	c.offsets = make([]int32, n+1)
+	c.targets = make([]NodeID, fwd)
+	c.weights = make([]float64, fwd)
+	for _, e := range g.edges {
+		c.offsets[e.From+1]++
+		if !g.directed {
+			c.offsets[e.To+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.offsets[i+1] += c.offsets[i]
+	}
+	pos := make([]int32, n)
+	copy(pos, c.offsets[:n])
+	for _, e := range g.edges {
+		p := pos[e.From]
+		pos[e.From]++
+		c.targets[p] = e.To
+		c.weights[p] = e.Weight
+		if !g.directed {
+			p = pos[e.To]
+			pos[e.To]++
+			c.targets[p] = e.From
+			c.weights[p] = e.Weight
+		}
+	}
+	sortRows(c.offsets, c.targets, c.weights)
+
+	if g.directed {
+		// Reverse adjacency.
+		c.roffsets = make([]int32, n+1)
+		c.rtargets = make([]NodeID, m)
+		for _, e := range g.edges {
+			c.roffsets[e.To+1]++
+		}
+		for i := 0; i < n; i++ {
+			c.roffsets[i+1] += c.roffsets[i]
+		}
+		copy(pos, c.roffsets[:n])
+		for _, e := range g.edges {
+			p := pos[e.To]
+			pos[e.To]++
+			c.rtargets[p] = e.From
+		}
+		sortRows(c.roffsets, c.rtargets, nil)
+
+		// Undirected view: both directions of every edge.
+		c.uoffsets = make([]int32, n+1)
+		c.utargets = make([]NodeID, 2*m)
+		for _, e := range g.edges {
+			c.uoffsets[e.From+1]++
+			c.uoffsets[e.To+1]++
+		}
+		for i := 0; i < n; i++ {
+			c.uoffsets[i+1] += c.uoffsets[i]
+		}
+		copy(pos, c.uoffsets[:n])
+		for _, e := range g.edges {
+			p := pos[e.From]
+			pos[e.From]++
+			c.utargets[p] = e.To
+			p = pos[e.To]
+			pos[e.To]++
+			c.utargets[p] = e.From
+		}
+		sortRows(c.uoffsets, c.utargets, nil)
+	} else {
+		c.uoffsets = c.offsets
+		c.utargets = c.targets
+	}
+	return c
+}
+
+// Version returns the graph version this view was frozen from.
+func (c *CSR) Version() uint64 { return c.version }
+
+// Directed reports whether the frozen graph stores directed edges.
+func (c *CSR) Directed() bool { return c.directed }
+
+// NumNodes returns the node count.
+func (c *CSR) NumNodes() int { return c.n }
+
+// NumEdges returns the edge count (each undirected edge counted once).
+func (c *CSR) NumEdges() int { return c.m }
+
+// OutNeighbors returns u's neighbors (out-neighbors for directed graphs) in
+// ascending ID order — the same contents and order as Graph.Neighbors, but
+// as a zero-allocation view into the frozen arrays. Callers must not modify
+// the returned slice.
+func (c *CSR) OutNeighbors(u NodeID) []NodeID {
+	return c.targets[c.offsets[u]:c.offsets[u+1]]
+}
+
+// OutWeights returns the edge weights aligned with OutNeighbors(u).
+func (c *CSR) OutWeights(u NodeID) []float64 {
+	return c.weights[c.offsets[u]:c.offsets[u+1]]
+}
+
+// OutDegree returns len(OutNeighbors(u)) without materializing anything.
+func (c *CSR) OutDegree(u NodeID) int {
+	return int(c.offsets[u+1] - c.offsets[u])
+}
+
+// InNeighbors returns the sources of edges entering u, ascending. For
+// undirected graphs it equals OutNeighbors.
+func (c *CSR) InNeighbors(u NodeID) []NodeID {
+	if !c.directed {
+		return c.OutNeighbors(u)
+	}
+	return c.rtargets[c.roffsets[u]:c.roffsets[u+1]]
+}
+
+// InDegree returns the in-degree (Degree for undirected graphs).
+func (c *CSR) InDegree(u NodeID) int {
+	if !c.directed {
+		return c.OutDegree(u)
+	}
+	return int(c.roffsets[u+1] - c.roffsets[u])
+}
+
+// undNeighbors returns u's neighbors in the undirected view (both edge
+// directions), ascending, parallel edges included.
+func (c *CSR) undNeighbors(u NodeID) []NodeID {
+	return c.utargets[c.uoffsets[u]:c.uoffsets[u+1]]
+}
+
+func (c *CSR) undDegree(u NodeID) int {
+	return int(c.uoffsets[u+1] - c.uoffsets[u])
+}
+
+// BFS visits nodes reachable from start in breadth-first order over the
+// forward adjacency (neighbors ascending), calling visit with each node and
+// its hop distance; visit returning false stops the traversal. All working
+// state comes from the pooled traversal scratch, so the walk allocates
+// nothing per visited node.
+func (c *CSR) BFS(start NodeID, visit func(id NodeID, depth int) bool) {
+	if start < 0 || int(start) >= c.n {
+		return
+	}
+	sc := getTrav(c.n)
+	defer putTrav(sc)
+	depth := sc.ints(c.n)
+	q := sc.queue[:0]
+	defer func() { sc.queue = q[:0] }()
+	q = append(q, int32(start))
+	sc.mark(int32(start))
+	depth[start] = 0
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		d := depth[u]
+		if !visit(NodeID(u), int(d)) {
+			return
+		}
+		for _, v := range c.targets[c.offsets[u]:c.offsets[u+1]] {
+			if !sc.seen(int32(v)) {
+				sc.mark(int32(v))
+				depth[v] = d + 1
+				q = append(q, int32(v))
+			}
+		}
+	}
+}
+
+// eccFrom returns the maximum BFS depth reachable from src over the forward
+// adjacency, using the caller's scratch. Zero allocations.
+func (c *CSR) eccFrom(src int32, sc *travScratch) int32 {
+	sc.nextEpoch()
+	depth := sc.ints(c.n)
+	q := sc.queue[:0]
+	defer func() { sc.queue = q[:0] }()
+	q = append(q, src)
+	sc.mark(src)
+	depth[src] = 0
+	var max int32
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		d := depth[u]
+		if d > max {
+			max = d
+		}
+		for _, v := range c.targets[c.offsets[u]:c.offsets[u+1]] {
+			if !sc.seen(int32(v)) {
+				sc.mark(int32(v))
+				depth[v] = d + 1
+				q = append(q, int32(v))
+			}
+		}
+	}
+	return max
+}
+
+// farthest returns the node at maximum BFS depth from src (ties broken by
+// BFS visit order, matching the slice-based double sweep) and that depth.
+func (c *CSR) farthest(src int32, sc *travScratch) (NodeID, int32) {
+	sc.nextEpoch()
+	depth := sc.ints(c.n)
+	q := sc.queue[:0]
+	defer func() { sc.queue = q[:0] }()
+	q = append(q, src)
+	sc.mark(src)
+	depth[src] = 0
+	best, bestD := src, int32(0)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		d := depth[u]
+		if d > bestD {
+			best, bestD = u, d
+		}
+		for _, v := range c.targets[c.offsets[u]:c.offsets[u+1]] {
+			if !sc.seen(int32(v)) {
+				sc.mark(int32(v))
+				depth[v] = d + 1
+				q = append(q, int32(v))
+			}
+		}
+	}
+	return NodeID(best), bestD
+}
+
+// components returns the weakly connected components (members sorted,
+// components ordered by smallest member), matching the pre-CSR
+// Graph.ConnectedComponents output exactly.
+func (c *CSR) components() [][]NodeID {
+	comp := make([]int32, c.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	sc := getTrav(c.n)
+	defer putTrav(sc)
+	stack := sc.queue[:0]
+	defer func() { sc.queue = stack[:0] }()
+	var comps [][]NodeID
+	for s := 0; s < c.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := int32(len(comps))
+		stack = append(stack[:0], int32(s))
+		comp[s] = id
+		members := make([]NodeID, 0, 8)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, NodeID(u))
+			for _, v := range c.utargets[c.uoffsets[u]:c.uoffsets[u+1]] {
+				if comp[v] < 0 {
+					comp[v] = id
+					stack = append(stack, int32(v))
+				}
+			}
+		}
+		sortNodeIDs(members)
+		comps = append(comps, members)
+	}
+	return comps
+}

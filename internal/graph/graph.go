@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node within one graph. IDs are dense non-negative
@@ -36,6 +37,10 @@ type Edge struct {
 
 // Graph is a mutable labeled property graph. The zero value is not usable;
 // construct with New or NewDirected.
+//
+// Mutation is not safe for concurrent use, but any number of goroutines may
+// read one graph concurrently — including through Freeze, whose frozen CSR
+// view backs every traversal-heavy algorithm in this package.
 type Graph struct {
 	// Name is an optional human-readable identifier ("G", "caffeine", ...).
 	Name     string
@@ -46,6 +51,38 @@ type Graph struct {
 	adj   [][]int
 	radj  [][]int // directed only: edges entering u
 	edges []Edge
+
+	// version counts mutations; Freeze and the executor's invocation cache
+	// key on it, so any structural or label change invalidates both.
+	version uint64
+	// frozenMu guards frozen, the cached CSR for the current version.
+	frozenMu sync.Mutex
+	frozen   *CSR
+}
+
+// Version returns the mutation counter: it changes whenever the graph's
+// nodes, edges, labels, or attributes change, so equal versions on the same
+// Graph imply identical analysis results.
+func (g *Graph) Version() uint64 { return g.version }
+
+// bump records a mutation, invalidating any frozen view or cached result
+// keyed on the previous version.
+func (g *Graph) bump() { g.version++ }
+
+// Grow preallocates capacity for nodes additional nodes and edges additional
+// edges, so bulk constructions (complement, union, JSON decode) append
+// without re-growing the backing arrays.
+func (g *Graph) Grow(nodes, edges int) {
+	if nodes > 0 {
+		g.nodes = append(make([]Node, 0, len(g.nodes)+nodes), g.nodes...)
+		g.adj = append(make([][]int, 0, len(g.adj)+nodes), g.adj...)
+		if g.directed {
+			g.radj = append(make([][]int, 0, len(g.radj)+nodes), g.radj...)
+		}
+	}
+	if edges > 0 {
+		g.edges = append(make([]Edge, 0, len(g.edges)+edges), g.edges...)
+	}
 }
 
 // New returns an empty undirected graph.
@@ -71,6 +108,7 @@ func (g *Graph) AddNode(label string) NodeID {
 	if g.directed {
 		g.radj = append(g.radj, nil)
 	}
+	g.bump()
 	return id
 }
 
@@ -95,6 +133,7 @@ func (g *Graph) Node(id NodeID) Node {
 // SetNodeLabel relabels node id.
 func (g *Graph) SetNodeLabel(id NodeID, label string) {
 	g.nodes[id].Label = label
+	g.bump()
 }
 
 // SetNodeAttr sets one attribute on node id.
@@ -103,6 +142,7 @@ func (g *Graph) SetNodeAttr(id NodeID, key, val string) {
 		g.nodes[id].Attrs = make(map[string]string)
 	}
 	g.nodes[id].Attrs[key] = val
+	g.bump()
 }
 
 // Nodes returns the nodes in ID order. The returned slice is shared; callers
@@ -138,6 +178,7 @@ func (g *Graph) AddEdgeLabeled(from, to NodeID, label string, weight float64) er
 	} else {
 		g.adj[to] = append(g.adj[to], idx)
 	}
+	g.bump()
 	return nil
 }
 
@@ -201,6 +242,7 @@ func (g *Graph) removeEdge(from, to NodeID, label string, matchLabel bool) bool 
 	}
 	g.edges = append(g.edges[:target], g.edges[target+1:]...)
 	g.rebuildAdj()
+	g.bump()
 	return true
 }
 
@@ -256,19 +298,43 @@ func (g *Graph) InNeighbors(u NodeID) []NodeID {
 // graphs).
 func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
 
+// InDegree returns the number of edges entering u. For undirected graphs it
+// equals Degree. Unlike InNeighbors it reads the adjacency length directly
+// and never materializes a slice.
+func (g *Graph) InDegree(u NodeID) int {
+	if !g.directed {
+		return len(g.adj[u])
+	}
+	return len(g.radj[u])
+}
+
+// TotalDegree returns the degree counting both directions: Degree for
+// undirected graphs, in-degree plus out-degree for directed ones — the
+// quantity the degree-sequence and stats code ranks by.
+func (g *Graph) TotalDegree(u NodeID) int {
+	if !g.directed {
+		return len(g.adj[u])
+	}
+	return len(g.adj[u]) + len(g.radj[u])
+}
+
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{Name: g.Name, directed: g.directed}
+	c := &Graph{Name: g.Name, directed: g.directed, version: g.version}
 	c.nodes = make([]Node, len(g.nodes))
 	copy(c.nodes, g.nodes)
 	for i, n := range g.nodes {
-		if n.Attrs != nil {
-			m := make(map[string]string, len(n.Attrs))
-			for k, v := range n.Attrs {
-				m[k] = v
-			}
-			c.nodes[i].Attrs = m
+		if len(n.Attrs) == 0 {
+			// Don't alias (or copy) empty maps; the clone lazily re-creates
+			// one if SetNodeAttr is ever called.
+			c.nodes[i].Attrs = nil
+			continue
 		}
+		m := make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			m[k] = v
+		}
+		c.nodes[i].Attrs = m
 	}
 	c.edges = make([]Edge, len(g.edges))
 	copy(c.edges, g.edges)
@@ -287,30 +353,14 @@ func (g *Graph) Clone() *Graph {
 
 // BFS visits nodes in breadth-first order from start, calling visit with each
 // node and its hop distance. Traversal stops early if visit returns false.
+// Neighbors are visited in ascending ID order. The traversal runs over the
+// frozen CSR view with pooled scratch, so it allocates nothing per visited
+// node; visit must not mutate the graph mid-traversal.
 func (g *Graph) BFS(start NodeID, visit func(id NodeID, depth int) bool) {
 	if !g.valid(start) {
 		return
 	}
-	seen := make([]bool, len(g.nodes))
-	type qe struct {
-		id NodeID
-		d  int
-	}
-	queue := []qe{{start, 0}}
-	seen[start] = true
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if !visit(cur.id, cur.d) {
-			return
-		}
-		for _, nb := range g.Neighbors(cur.id) {
-			if !seen[nb] {
-				seen[nb] = true
-				queue = append(queue, qe{nb, cur.d + 1})
-			}
-		}
-	}
+	g.Freeze().BFS(start, visit)
 }
 
 // KHopSubgraphNodes returns the set of nodes within l hops of u (inclusive of
@@ -332,41 +382,7 @@ func (g *Graph) KHopSubgraphNodes(u NodeID, l int) []NodeID {
 // components as slices of node IDs (each sorted; components ordered by their
 // smallest member). Directed graphs are treated as undirected here.
 func (g *Graph) ConnectedComponents() [][]NodeID {
-	n := len(g.nodes)
-	comp := make([]int, n)
-	for i := range comp {
-		comp[i] = -1
-	}
-	// Undirected view: collect both directions.
-	und := make([][]NodeID, n)
-	for _, e := range g.edges {
-		und[e.From] = append(und[e.From], e.To)
-		und[e.To] = append(und[e.To], e.From)
-	}
-	var comps [][]NodeID
-	for s := 0; s < n; s++ {
-		if comp[s] >= 0 {
-			continue
-		}
-		id := len(comps)
-		stack := []NodeID{NodeID(s)}
-		comp[s] = id
-		var members []NodeID
-		for len(stack) > 0 {
-			u := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			members = append(members, u)
-			for _, v := range und[u] {
-				if comp[v] < 0 {
-					comp[v] = id
-					stack = append(stack, v)
-				}
-			}
-		}
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		comps = append(comps, members)
-	}
-	return comps
+	return g.Freeze().components()
 }
 
 // ShortestPathLengths runs an unweighted BFS from src and returns hop counts

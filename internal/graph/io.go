@@ -54,8 +54,13 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &jg); err != nil {
 		return fmt.Errorf("graph: decode: %w", err)
 	}
-	fresh := Graph{Name: jg.Name, directed: jg.Directed}
-	*g = fresh
+	// Reset in place (a whole-struct copy would copy the freeze mutex) and
+	// bump the version so any cached view of the old contents is invalid.
+	g.Name = jg.Name
+	g.directed = jg.Directed
+	g.nodes, g.edges, g.adj, g.radj = nil, nil, nil, nil
+	g.bump()
+	g.Grow(len(jg.Nodes), len(jg.Edges))
 	remap := make(map[int]NodeID, len(jg.Nodes))
 	for _, n := range jg.Nodes {
 		if _, dup := remap[n.ID]; dup {

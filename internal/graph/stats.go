@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"chatgraph/internal/parallel"
 )
 
 // Stats summarizes the structural properties the report-generation APIs talk
@@ -27,17 +29,36 @@ type Stats struct {
 	AssortativityHint string
 }
 
-// ComputeStats derives Stats from g in O(V·d²) time (d = max degree), which
-// is fine for the chat-scale graphs ChatGraph handles.
+// ComputeStats derives Stats from g. The result is memoized on the frozen
+// CSR view, so repeated calls on an unmutated graph are O(1); any mutation
+// (version bump) triggers a full recompute. The heavy pieces — triangle
+// counting and the diameter sweep — run on the CSR with pooled scratch, and
+// triangle counting fans across parallel.ForEach.
 func ComputeStats(g *Graph) Stats {
-	n := g.NumNodes()
-	m := g.NumEdges()
-	s := Stats{Nodes: n, Edges: m, Directed: g.Directed(), LabelCounts: map[string]int{}}
+	return g.Freeze().Stats()
+}
+
+// Stats returns the memoized statistics of the frozen graph. The returned
+// LabelCounts map is a fresh copy each call, so callers may modify it.
+func (c *CSR) Stats() Stats {
+	c.statsOnce.Do(func() { c.stats = c.computeStats() })
+	s := c.stats
+	counts := make(map[string]int, len(s.LabelCounts))
+	for k, v := range s.LabelCounts {
+		counts[k] = v
+	}
+	s.LabelCounts = counts
+	return s
+}
+
+func (c *CSR) computeStats() Stats {
+	n, m := c.n, c.m
+	s := Stats{Nodes: n, Edges: m, Directed: c.directed, LabelCounts: map[string]int{}}
 	if n == 0 {
 		return s
 	}
 	possible := float64(n) * float64(n-1)
-	if !g.Directed() {
+	if !c.directed {
 		possible /= 2
 	}
 	if possible > 0 {
@@ -45,10 +66,10 @@ func ComputeStats(g *Graph) Stats {
 	}
 	s.MinDegree = math.MaxInt
 	var sum, sumSq float64
-	for _, nd := range g.Nodes() {
-		d := g.Degree(nd.ID)
-		if g.Directed() {
-			d += len(g.InNeighbors(nd.ID))
+	for u := 0; u < n; u++ {
+		d := c.OutDegree(NodeID(u))
+		if c.directed {
+			d += c.InDegree(NodeID(u))
 		}
 		if d < s.MinDegree {
 			s.MinDegree = d
@@ -58,22 +79,22 @@ func ComputeStats(g *Graph) Stats {
 		}
 		sum += float64(d)
 		sumSq += float64(d) * float64(d)
-		s.LabelCounts[nd.Label]++
+		s.LabelCounts[c.labels[u]]++
 	}
 	s.MeanDegree = sum / float64(n)
 	variance := sumSq/float64(n) - s.MeanDegree*s.MeanDegree
 	if variance > 0 {
 		s.DegreeStdDev = math.Sqrt(variance)
 	}
-	comps := g.ConnectedComponents()
+	comps := c.components()
 	s.Components = len(comps)
-	for _, c := range comps {
-		if len(c) > s.LargestComponent {
-			s.LargestComponent = len(c)
+	for _, comp := range comps {
+		if len(comp) > s.LargestComponent {
+			s.LargestComponent = len(comp)
 		}
 	}
-	s.Triangles, s.ClusteringCoeff = countTriangles(g)
-	s.ApproxDiameter = approxDiameter(g, comps)
+	s.Triangles, s.ClusteringCoeff = c.countTriangles()
+	s.ApproxDiameter = c.approxDiameter(comps)
 	switch {
 	case s.DegreeStdDev > 2*s.MeanDegree:
 		s.AssortativityHint = "heavy-tailed degree distribution (hub-dominated)"
@@ -86,74 +107,100 @@ func ComputeStats(g *Graph) Stats {
 }
 
 // countTriangles returns the triangle count and average local clustering
-// coefficient over nodes with degree ≥ 2, treating edges as undirected.
-func countTriangles(g *Graph) (int, float64) {
-	n := g.NumNodes()
-	neigh := make([]map[NodeID]bool, n)
-	for i := 0; i < n; i++ {
-		neigh[i] = make(map[NodeID]bool)
+// coefficient over nodes with (distinct) degree ≥ 2, treating edges as
+// undirected and ignoring parallel duplicates — the same set semantics as
+// the map-based implementation this replaced. Per node u it counts closed
+// wedges by merge-intersecting the sorted neighbor lists of u and each of
+// its neighbors, and the independent per-node counts fan out across
+// parallel.ForEach.
+func (c *CSR) countTriangles() (int, float64) {
+	n := c.n
+	if n == 0 {
+		return 0, 0
 	}
-	for _, e := range g.Edges() {
-		neigh[e.From][e.To] = true
-		neigh[e.To][e.From] = true
-	}
-	triTotal := 0
+	closed := make([]int64, n)
+	distinct := make([]int32, n)
+	parallel.ForEach(n, func(ui int) {
+		u := NodeID(ui)
+		nu := c.undNeighbors(u)
+		// Distinct degree (rows are sorted; duplicates are adjacent).
+		var d int32
+		var pairSum int64
+		prev := NodeID(-1)
+		for _, v := range nu {
+			if v == prev {
+				continue
+			}
+			prev = v
+			d++
+			pairSum += int64(sortedIntersectionSize(nu, c.undNeighbors(v)))
+		}
+		distinct[ui] = d
+		// Each unordered adjacent pair {v,w} ⊂ N(u) was counted once from v
+		// and once from w.
+		closed[ui] = pairSum / 2
+	})
+	var triTotal int64
 	var ccSum float64
 	ccCount := 0
-	for u := 0; u < n; u++ {
-		nbs := make([]NodeID, 0, len(neigh[u]))
-		for v := range neigh[u] {
-			nbs = append(nbs, v)
-		}
-		d := len(nbs)
-		if d < 2 {
+	for i := 0; i < n; i++ {
+		d := float64(distinct[i])
+		if distinct[i] < 2 {
 			continue
 		}
-		closed := 0
-		for i := 0; i < d; i++ {
-			for j := i + 1; j < d; j++ {
-				if neigh[nbs[i]][nbs[j]] {
-					closed++
-				}
-			}
-		}
-		triTotal += closed
-		ccSum += float64(closed) / (float64(d) * float64(d-1) / 2)
+		triTotal += closed[i]
+		ccSum += float64(closed[i]) / (d * (d - 1) / 2)
 		ccCount++
 	}
 	cc := 0.0
 	if ccCount > 0 {
 		cc = ccSum / float64(ccCount)
 	}
-	return triTotal / 3, cc
+	return int(triTotal / 3), cc
+}
+
+// sortedIntersectionSize counts the distinct values present in both sorted
+// slices, skipping duplicate runs in each.
+func sortedIntersectionSize(a, b []NodeID) int {
+	i, j, count := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		switch {
+		case av < bv:
+			i++
+		case av > bv:
+			j++
+		default:
+			count++
+			for i < len(a) && a[i] == av {
+				i++
+			}
+			for j < len(b) && b[j] == bv {
+				j++
+			}
+		}
+	}
+	return count
 }
 
 // approxDiameter runs a double BFS sweep on the largest component: BFS from
 // an arbitrary node finds the farthest node x; BFS from x finds a lower bound
 // on the diameter that is exact on trees and close in practice.
-func approxDiameter(g *Graph, comps [][]NodeID) int {
+func (c *CSR) approxDiameter(comps [][]NodeID) int {
 	var largest []NodeID
-	for _, c := range comps {
-		if len(c) > len(largest) {
-			largest = c
+	for _, comp := range comps {
+		if len(comp) > len(largest) {
+			largest = comp
 		}
 	}
 	if len(largest) == 0 {
 		return 0
 	}
-	far := func(src NodeID) (NodeID, int) {
-		best, bestD := src, 0
-		g.BFS(src, func(id NodeID, d int) bool {
-			if d > bestD {
-				best, bestD = id, d
-			}
-			return true
-		})
-		return best, bestD
-	}
-	x, _ := far(largest[0])
-	_, d := far(x)
-	return d
+	sc := getTrav(c.n)
+	defer putTrav(sc)
+	x, _ := c.farthest(int32(largest[0]), sc)
+	_, d := c.farthest(int32(x), sc)
+	return int(d)
 }
 
 // Describe renders the stats as the bullet lines report APIs embed in chat
@@ -217,32 +264,30 @@ func (k Kind) String() string {
 
 // Classify predicts the graph category from cheap structural and label
 // signals. This implements the paper's "ChatGraph first predicts the type of
-// G" step (§IV-1).
+// G" step (§IV-1). Like ComputeStats, the result is memoized per graph
+// version on the frozen view.
 func Classify(g *Graph) Kind {
-	if g.NumNodes() == 0 {
+	return g.Freeze().Kind()
+}
+
+// Kind returns the memoized category of the frozen graph, computed from the
+// label/attribute signals snapshotted at freeze time.
+func (c *CSR) Kind() Kind {
+	c.kindOnce.Do(func() { c.kind = c.classify() })
+	return c.kind
+}
+
+func (c *CSR) classify() Kind {
+	n := c.n
+	if n == 0 {
 		return KindUnknown
 	}
-	elementish, typed, relLabeled := 0, 0, 0
-	for _, n := range g.Nodes() {
-		if isElementSymbol(n.Label) || n.Attrs["element"] != "" {
-			elementish++
-		}
-		if t := n.Attrs["type"]; t == "person" || t == "place" || t == "org" {
-			typed++
-		}
-	}
-	for _, e := range g.Edges() {
-		if e.Label != "" && e.Label != "bond" {
-			relLabeled++
-		}
-	}
-	n := g.NumNodes()
 	switch {
-	case elementish*2 >= n:
+	case c.elementish*2 >= n:
 		return KindMolecule
-	case g.Directed() && (relLabeled*2 >= g.NumEdges() || typed*2 >= n):
+	case c.directed && (c.relLabeled*2 >= c.m || c.typed*2 >= n):
 		return KindKnowledge
-	case typed*2 >= n:
+	case c.typed*2 >= n:
 		return KindKnowledge
 	default:
 		return KindSocial

@@ -25,6 +25,7 @@ func InducedSubgraph(g *Graph, nodes []NodeID) (*Graph, map[NodeID]NodeID) {
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 	sub := &Graph{Name: g.Name + "_sub", directed: g.directed}
+	sub.Grow(len(ordered), 0)
 	remap := make(map[NodeID]NodeID, len(ordered))
 	for _, id := range ordered {
 		n := g.Node(id)
@@ -43,49 +44,68 @@ func NeighborhoodSubgraph(g *Graph, u NodeID, l int) (*Graph, map[NodeID]NodeID)
 	return InducedSubgraph(g, g.KHopSubgraphNodes(u, l))
 }
 
-// DegreeSequence returns the sorted (descending) degree sequence.
+// DegreeSequence returns the sorted (descending) degree sequence, reading
+// adjacency lengths directly — no neighbor slices are materialized.
 func DegreeSequence(g *Graph) []int {
 	out := make([]int, g.NumNodes())
 	for i := range out {
-		out[i] = g.Degree(NodeID(i))
-		if g.directed {
-			out[i] += len(g.InNeighbors(NodeID(i)))
-		}
+		out[i] = g.TotalDegree(NodeID(i))
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(out)))
 	return out
 }
 
 // Complement returns the undirected complement graph (same nodes, edges
-// exactly where g has none). Only defined for undirected graphs.
+// exactly where g has none). Only defined for undirected graphs. The edge
+// table is preallocated from the known complement size, and existing edges
+// are skipped by walking each node's sorted frozen adjacency row instead of
+// probing hash sets.
 func Complement(g *Graph) (*Graph, error) {
 	if g.directed {
 		return nil, fmt.Errorf("graph: complement of a directed graph is not supported")
 	}
 	c := New()
 	c.Name = g.Name + "_complement"
-	for _, n := range g.Nodes() {
-		c.AddNodeAttrs(n.Label, n.Attrs)
-	}
 	n := g.NumNodes()
-	adj := adjacencySets(g)
+	capEdges := n*(n-1)/2 - g.NumEdges()
+	if capEdges < 0 {
+		capEdges = 0
+	}
+	c.Grow(n, capEdges)
+	for _, nd := range g.Nodes() {
+		c.AddNodeAttrs(nd.Label, nd.Attrs)
+	}
+	fr := g.Freeze()
 	for i := 0; i < n; i++ {
+		row := fr.OutNeighbors(NodeID(i))
+		// Advance past neighbors ≤ i; the remainder of the sorted row gates
+		// the j loop below.
+		k := 0
+		for k < len(row) && row[k] <= NodeID(i) {
+			k++
+		}
 		for j := i + 1; j < n; j++ {
-			if !adj[i][NodeID(j)] {
-				c.AddEdge(NodeID(i), NodeID(j)) //nolint:errcheck
+			for k < len(row) && row[k] < NodeID(j) {
+				k++
 			}
+			if k < len(row) && row[k] == NodeID(j) {
+				continue
+			}
+			c.AddEdge(NodeID(i), NodeID(j)) //nolint:errcheck
 		}
 	}
 	return c, nil
 }
 
 // DisjointUnion returns a graph containing copies of a then b with b's IDs
-// shifted by a.NumNodes(). Directedness must match.
+// shifted by a.NumNodes(). Directedness must match. Node and edge storage is
+// preallocated from the known sizes.
 func DisjointUnion(a, b *Graph) (*Graph, error) {
 	if a.directed != b.directed {
 		return nil, fmt.Errorf("graph: cannot union directed with undirected")
 	}
 	u := &Graph{Name: a.Name + "+" + b.Name, directed: a.directed}
+	u.Grow(a.NumNodes()+b.NumNodes(), a.NumEdges()+b.NumEdges())
 	for _, n := range a.Nodes() {
 		u.AddNodeAttrs(n.Label, n.Attrs)
 	}

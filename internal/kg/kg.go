@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 
 	"chatgraph/internal/graph"
 )
@@ -81,9 +83,9 @@ func NewDetector() *Detector {
 // signature and duplicate edges (same endpoints and label stored twice).
 func (d *Detector) DetectIncorrect(g *graph.Graph) []Issue {
 	var issues []Issue
-	seen := make(map[string]bool)
+	seen := make(map[string]bool, g.NumEdges())
 	for _, e := range g.Edges() {
-		key := fmt.Sprintf("%d|%s|%d", e.From, e.Label, e.To)
+		key := tripleKey(e.From, e.Label, e.To)
 		if seen[key] {
 			issues = append(issues, Issue{
 				Kind: "incorrect", From: e.From, To: e.To, Label: e.Label,
@@ -119,7 +121,7 @@ func (d *Detector) DetectMissing(g *graph.Graph) []Issue {
 	// feed the rules: inferring over an incorrect edge would launder its
 	// error into plausible-looking "missing" conclusions.
 	byRel := make(map[string]map[graph.NodeID][]graph.NodeID)
-	has := make(map[string]bool)
+	has := make(map[string]bool, g.NumEdges())
 	for _, e := range g.Edges() {
 		has[tripleKey(e.From, e.Label, e.To)] = true
 		if !d.validTriple(g, e.From, e.Label, e.To) {
@@ -203,8 +205,18 @@ func (d *Detector) validTriple(g *graph.Graph, from graph.NodeID, rel string, to
 	return g.Node(from).Attrs["type"] == sig[0] && g.Node(to).Attrs["type"] == sig[1]
 }
 
+// tripleKey renders "from|rel|to" with strconv instead of fmt: the
+// detection and inference loops build one key per (candidate) triple, and
+// Sprintf's reflection was the dominant allocation there.
 func tripleKey(from graph.NodeID, rel string, to graph.NodeID) string {
-	return fmt.Sprintf("%d|%s|%d", from, rel, to)
+	var b strings.Builder
+	b.Grow(len(rel) + 16)
+	b.WriteString(strconv.Itoa(int(from)))
+	b.WriteByte('|')
+	b.WriteString(rel)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(to)))
+	return b.String()
 }
 
 // Apply edits g in place according to the accepted issues: incorrect edges

@@ -133,13 +133,14 @@ func Fingerprint(g *graph.Graph, iterations int) map[uint64]float64 {
 		labels[i] = hash64("L0:" + l)
 		fp[labels[i]]++
 	}
+	c := g.Freeze()
+	var nbLabels []uint64
 	for it := 1; it <= iterations; it++ {
 		next := make([]uint64, n)
 		for i := 0; i < n; i++ {
-			nbs := g.Neighbors(graph.NodeID(i))
-			nbLabels := make([]uint64, len(nbs))
-			for j, nb := range nbs {
-				nbLabels[j] = labels[nb]
+			nbLabels = nbLabels[:0]
+			for _, nb := range c.OutNeighbors(graph.NodeID(i)) {
+				nbLabels = append(nbLabels, labels[nb])
 			}
 			sort.Slice(nbLabels, func(a, b int) bool { return nbLabels[a] < nbLabels[b] })
 			h := fnv.New64a()

@@ -98,12 +98,13 @@ func coverFrom(g *graph.Graph, u graph.NodeID, l int) []Path {
 	parent := map[graph.NodeID]graph.NodeID{u: u}
 	depth := map[graph.NodeID]int{u: 0}
 	var order []graph.NodeID
-	g.BFS(u, func(id graph.NodeID, d int) bool {
+	c := g.Freeze()
+	c.BFS(u, func(id graph.NodeID, d int) bool {
 		if d > l {
 			return false
 		}
 		order = append(order, id)
-		for _, nb := range g.Neighbors(id) {
+		for _, nb := range c.OutNeighbors(id) {
 			if _, seen := parent[nb]; !seen && d < l {
 				parent[nb] = id
 				depth[nb] = d + 1
