@@ -6,7 +6,10 @@
 // v1 endpoints: POST /v1/sessions, POST /v1/sessions/{id}/chat (add
 // ?stream=1 for NDJSON progress), GET /v1/sessions/{id}/history,
 // DELETE /v1/sessions/{id}. Legacy endpoints: POST /chat, GET /apis,
-// GET /suggest, GET /config, GET /healthz.
+// GET /suggest, GET /config, GET /healthz. Observability: GET /metrics
+// (Prometheus text format). Overload policy: -max-inflight sheds with 429,
+// -session-rate/-session-burst rate-limit each session's chats, and
+// -request-timeout bounds one request's lifetime.
 //
 // Example:
 //
@@ -45,8 +48,18 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle timeout after which a v1 session expires")
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "cap on concurrently live v1 sessions")
 		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+
+		maxInFlight  = flag.Int("max-inflight", 0, "cap on concurrently admitted requests; excess sheds with 429 (0 = unlimited)")
+		sessionRate  = flag.Float64("session-rate", 0, "per-session chat rate limit in requests/sec (0 = unlimited)")
+		sessionBurst = flag.Int("session-burst", 0, "per-session rate-limit burst (0 = one second's worth)")
+		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-request context deadline on chat/retrieve; expired chats answer 504 (0 = none)")
+		writeTimeout = flag.Duration("write-timeout", 0, "http.Server write timeout; must exceed -request-timeout when set (0 = none, required for long NDJSON streams)")
+		readHeader   = flag.Duration("read-header-timeout", 10*time.Second, "http.Server read-header timeout")
 	)
 	flag.Parse()
+	if *writeTimeout > 0 && *writeTimeout <= *reqTimeout {
+		log.Fatalf("chatgraphd: -write-timeout %s must exceed -request-timeout %s (or the connection dies before the 504 can be written)", *writeTimeout, *reqTimeout)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	env := &apis.Env{}
@@ -72,11 +85,19 @@ func main() {
 		log.Fatalf("chatgraphd: %v", err)
 	}
 
-	srv := server.New(eng, server.Options{SessionTTL: *sessionTTL, MaxSessions: *maxSessions})
+	srv := server.New(eng, server.Options{
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+		MaxInFlight:    *maxInFlight,
+		SessionRate:    *sessionRate,
+		SessionBurst:   *sessionBurst,
+		RequestTimeout: *reqTimeout,
+	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeader,
+		WriteTimeout:      *writeTimeout,
 	}
 
 	// Sweep expired sessions in the background so idle daemons release
@@ -101,8 +122,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("chatgraphd listening on %s (%d APIs registered, session ttl %s, max %d sessions)",
-		*addr, reg.Len(), *sessionTTL, *maxSessions)
+	log.Printf("chatgraphd listening on %s (%d APIs registered, session ttl %s, max %d sessions, max-inflight %d, request timeout %s)",
+		*addr, reg.Len(), *sessionTTL, *maxSessions, *maxInFlight, *reqTimeout)
 
 	select {
 	case err := <-errc:

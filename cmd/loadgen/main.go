@@ -1,0 +1,447 @@
+// Command loadgen drives a running chatgraphd over the v1 API and reports
+// serving-layer performance: latency percentiles, throughput, error and
+// shed rates, per operation and overall. It is the repeatable measurement
+// tool behind BENCH_serving.json and the CI loadgen-smoke job.
+//
+// Two load models:
+//
+//   - closed loop (default): -concurrency workers each issue the next
+//     request as soon as the previous one finishes — throughput follows
+//     service rate, the classic saturation probe.
+//   - open loop: requests are dispatched on a fixed schedule at -rate
+//     req/s regardless of completions — the arrival process real users
+//     produce, which is what exposes queueing collapse under overload.
+//
+// The operation mix interleaves chat (POST /v1/sessions/{id}/chat, session
+// pool round-robin) and batched retrieval (POST /v1/retrieve) per
+// -chat-frac. 429 responses count as shed, not errors — shedding is the
+// admission policy working as designed; any other non-2xx is an error.
+// After the run, /healthz and /metrics are probed so the smoke job fails
+// when observability breaks. -strict exits non-zero on any error or failed
+// probe.
+//
+// Example:
+//
+//	chatgraphd -addr :8080 &
+//	loadgen -addr http://localhost:8080 -duration 5s -concurrency 4 \
+//	        -chat-frac 0.5 -json BENCH_serving.json -strict
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"chatgraph/internal/graph"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "base URL of the chatgraphd to drive")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		concurrency = flag.Int("concurrency", 4, "closed-loop worker count (open loop: max outstanding requests)")
+		mode        = flag.String("mode", "closed", "load model: closed (workers) or open (fixed arrival rate)")
+		rate        = flag.Float64("rate", 50, "open-loop arrival rate in req/s")
+		chatFrac    = flag.Float64("chat-frac", 0.5, "fraction of operations that are chats (the rest are retrieves)")
+		sessions    = flag.Int("sessions", 0, "session pool size (0 = same as -concurrency)")
+		k           = flag.Int("k", 5, "retrieval k per query")
+		queries     = flag.Int("queries", 4, "queries per retrieve batch")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		seed        = flag.Int64("seed", 7, "workload RNG seed (graph shape, op mix)")
+		jsonPath    = flag.String("json", "", "write the machine-readable report (BENCH_serving.json schema) to this file")
+		strict      = flag.Bool("strict", false, "exit 1 on any transport/status error or failed healthz//metrics probe")
+	)
+	flag.Parse()
+	if *mode != "closed" && *mode != "open" {
+		log.Fatalf("loadgen: -mode must be closed or open, got %q", *mode)
+	}
+	if *chatFrac < 0 || *chatFrac > 1 {
+		log.Fatalf("loadgen: -chat-frac must be in [0,1], got %g", *chatFrac)
+	}
+	if *sessions <= 0 {
+		*sessions = *concurrency
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: *timeout}
+	rng := rand.New(rand.NewSource(*seed))
+
+	// One modest social graph reused by every chat: the serving layer is
+	// under test, not the graph kernel.
+	g := graph.PlantedCommunities(2, 10, 0.5, 0.05, rng)
+	graphJSON, err := json.Marshal(g)
+	if err != nil {
+		log.Fatalf("loadgen: marshal graph: %v", err)
+	}
+	chatBody, err := json.Marshal(map[string]any{
+		"question": "Summarize the statistics of the graph",
+		"graph":    json.RawMessage(graphJSON),
+	})
+	if err != nil {
+		log.Fatalf("loadgen: marshal chat body: %v", err)
+	}
+	retrieveQueries := []string{
+		"detect communities in the network",
+		"who are the most influential nodes",
+		"is the network connected",
+		"clean the knowledge graph",
+		"how toxic is this molecule",
+		"find molecules similar to G",
+	}
+	qs := retrieveQueries[:min(*queries, len(retrieveQueries))]
+	retrieveBody, err := json.Marshal(map[string]any{"queries": qs, "k": *k})
+	if err != nil {
+		log.Fatalf("loadgen: marshal retrieve body: %v", err)
+	}
+
+	// Session pool.
+	pool := make([]string, 0, *sessions)
+	for i := 0; i < *sessions; i++ {
+		id, err := createSession(client, base)
+		if err != nil {
+			log.Fatalf("loadgen: create session %d: %v", i, err)
+		}
+		pool = append(pool, id)
+	}
+
+	run := newRunStats()
+	doOp := func(w *rand.Rand, worker int) {
+		var (
+			op     string
+			status int
+			err    error
+		)
+		start := time.Now()
+		if w.Float64() < *chatFrac {
+			op = "chat"
+			sid := pool[worker%len(pool)]
+			status, err = post(client, base+"/v1/sessions/"+sid+"/chat", chatBody)
+		} else {
+			op = "retrieve"
+			status, err = post(client, base+"/v1/retrieve", retrieveBody)
+		}
+		run.record(op, status, err, time.Since(start))
+	}
+
+	log.Printf("loadgen: %s loop against %s for %s (concurrency %d, sessions %d, chat-frac %.2f)",
+		*mode, base, *duration, *concurrency, len(pool), *chatFrac)
+	wallStart := time.Now()
+	deadline := wallStart.Add(*duration)
+	if *mode == "closed" {
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < *concurrency; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				w := rand.New(rand.NewSource(*seed + int64(wkr)*7919))
+				for time.Now().Before(deadline) {
+					doOp(w, wkr)
+				}
+			}(wkr)
+		}
+		wg.Wait()
+	} else {
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			log.Fatalf("loadgen: -rate %g is not a usable arrival rate", *rate)
+		}
+		// Outstanding requests are bounded by -concurrency; an arrival that
+		// finds every slot busy is recorded as a local drop, mirroring what
+		// a queueing client would experience.
+		slots := make(chan struct{}, *concurrency)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+		next := 0
+		for now := range ticker.C {
+			if now.After(deadline) {
+				break
+			}
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func(wkr int, w *rand.Rand) {
+					defer wg.Done()
+					defer func() { <-slots }()
+					doOp(w, wkr)
+				}(next, rand.New(rand.NewSource(*seed+int64(next)*7919)))
+				next++
+			default:
+				run.drop()
+			}
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(wallStart)
+
+	// Post-run observability probes: the serving layer is not healthy if it
+	// cannot say it is healthy.
+	healthzOK := probe(client, base+"/healthz", "")
+	metricsOK := probe(client, base+"/metrics", "chatgraph_http_requests_total")
+
+	report := run.report(*mode, base, elapsed, *concurrency, *rate, *chatFrac, len(pool), healthzOK, metricsOK)
+	report.print(os.Stdout)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: marshal report: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: write %s: %v", *jsonPath, err)
+		}
+		log.Printf("loadgen: wrote %s", *jsonPath)
+	}
+	if *strict {
+		if !healthzOK || !metricsOK {
+			log.Fatal("loadgen: strict: healthz or metrics probe failed")
+		}
+		if report.Total.Errors > 0 {
+			log.Fatalf("loadgen: strict: %d non-2xx/429 responses", report.Total.Errors)
+		}
+		if report.Total.OK == 0 {
+			log.Fatal("loadgen: strict: no successful requests")
+		}
+	}
+}
+
+func createSession(client *http.Client, base string) (string, error) {
+	resp, err := client.Post(base+"/v1/sessions", "application/json", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var info struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", err
+	}
+	if info.SessionID == "" {
+		return "", fmt.Errorf("empty session_id")
+	}
+	return info.SessionID, nil
+}
+
+func post(client *http.Client, url string, body []byte) (status int, err error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return resp.StatusCode, nil
+}
+
+func probe(client *http.Client, url, mustContain string) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false
+	}
+	return mustContain == "" || strings.Contains(string(body), mustContain)
+}
+
+// opStats accumulates one operation's samples.
+type opStats struct {
+	requests  int
+	ok        int
+	shed      int
+	errors    int
+	latencies []float64 // seconds, successful (2xx) requests only
+}
+
+// runStats is the mutex-guarded collector shared by the workers. A load
+// tool's own contention is irrelevant next to the network round trip.
+type runStats struct {
+	mu    sync.Mutex
+	ops   map[string]*opStats
+	drops int
+}
+
+func newRunStats() *runStats {
+	return &runStats{ops: map[string]*opStats{
+		"chat":     {},
+		"retrieve": {},
+	}}
+}
+
+func (r *runStats) record(op string, status int, err error, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.ops[op]
+	s.requests++
+	switch {
+	case err != nil:
+		s.errors++
+	case status >= 200 && status < 300:
+		s.ok++
+		s.latencies = append(s.latencies, d.Seconds())
+	case status == http.StatusTooManyRequests:
+		s.shed++
+	default:
+		s.errors++
+	}
+}
+
+func (r *runStats) drop() {
+	r.mu.Lock()
+	r.drops++
+	r.mu.Unlock()
+}
+
+// LatencySummary is the latency block of one report entry, milliseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// OpReport is one operation's (or the total's) aggregate in the report.
+type OpReport struct {
+	Requests      int            `json:"requests"`
+	OK            int            `json:"ok"`
+	Shed          int            `json:"shed"`
+	Errors        int            `json:"errors"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       LatencySummary `json:"latency"`
+}
+
+// Report is the loadgen output schema (BENCH_serving.json). Schema is
+// versioned so the perf-trajectory tooling can evolve it.
+type Report struct {
+	Schema      string              `json:"schema"`
+	Target      string              `json:"target"`
+	Mode        string              `json:"mode"`
+	DurationS   float64             `json:"duration_s"`
+	Concurrency int                 `json:"concurrency"`
+	RateRPS     float64             `json:"rate_rps,omitempty"`
+	ChatFrac    float64             `json:"chat_fraction"`
+	Sessions    int                 `json:"sessions"`
+	Drops       int                 `json:"open_loop_drops,omitempty"`
+	HealthzOK   bool                `json:"healthz_ok"`
+	MetricsOK   bool                `json:"metrics_ok"`
+	Total       OpReport            `json:"total"`
+	Ops         map[string]OpReport `json:"ops"`
+}
+
+func summarize(lat []float64, requests, ok, shed, errs int, elapsed time.Duration) OpReport {
+	rep := OpReport{Requests: requests, OK: ok, Shed: shed, Errors: errs}
+	if elapsed > 0 {
+		rep.ThroughputRPS = round2(float64(ok) / elapsed.Seconds())
+	}
+	if len(lat) == 0 {
+		return rep
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	rep.Latency = LatencySummary{
+		P50:  roundMS(quantile(sorted, 0.50)),
+		P95:  roundMS(quantile(sorted, 0.95)),
+		P99:  roundMS(quantile(sorted, 0.99)),
+		Mean: roundMS(sum / float64(len(sorted))),
+		Max:  roundMS(sorted[len(sorted)-1]),
+	}
+	return rep
+}
+
+// quantile reads the q-quantile from an ascending sample slice using the
+// nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func roundMS(seconds float64) float64 { return round2(seconds * 1000) }
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func (r *runStats) report(mode, target string, elapsed time.Duration, concurrency int, rate, chatFrac float64, sessions int, healthzOK, metricsOK bool) Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := Report{
+		Schema:      "chatgraph.loadgen/v1",
+		Target:      target,
+		Mode:        mode,
+		DurationS:   round2(elapsed.Seconds()),
+		Concurrency: concurrency,
+		ChatFrac:    chatFrac,
+		Sessions:    sessions,
+		Drops:       r.drops,
+		HealthzOK:   healthzOK,
+		MetricsOK:   metricsOK,
+		Ops:         make(map[string]OpReport, len(r.ops)),
+	}
+	if mode == "open" {
+		rep.RateRPS = rate
+	}
+	var allLat []float64
+	var req, ok, shed, errs int
+	for name, s := range r.ops {
+		rep.Ops[name] = summarize(s.latencies, s.requests, s.ok, s.shed, s.errors, elapsed)
+		allLat = append(allLat, s.latencies...)
+		req += s.requests
+		ok += s.ok
+		shed += s.shed
+		errs += s.errors
+	}
+	rep.Total = summarize(allLat, req, ok, shed, errs, elapsed)
+	return rep
+}
+
+func (rep Report) print(w io.Writer) {
+	fmt.Fprintf(w, "\nloadgen %s loop · %s · %.1fs · healthz=%v metrics=%v\n",
+		rep.Mode, rep.Target, rep.DurationS, rep.HealthzOK, rep.MetricsOK)
+	fmt.Fprintf(w, "%-10s %8s %8s %6s %6s %10s %8s %8s %8s\n",
+		"op", "requests", "ok", "shed", "errs", "thru r/s", "p50 ms", "p95 ms", "p99 ms")
+	row := func(name string, s OpReport) {
+		fmt.Fprintf(w, "%-10s %8d %8d %6d %6d %10.1f %8.1f %8.1f %8.1f\n",
+			name, s.Requests, s.OK, s.Shed, s.Errors, s.ThroughputRPS,
+			s.Latency.P50, s.Latency.P95, s.Latency.P99)
+	}
+	names := make([]string, 0, len(rep.Ops))
+	for n := range rep.Ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		row(n, rep.Ops[n])
+	}
+	row("total", rep.Total)
+	if rep.Drops > 0 {
+		fmt.Fprintf(w, "open-loop arrivals dropped at the client (all %d slots busy): %d\n", rep.Concurrency, rep.Drops)
+	}
+}

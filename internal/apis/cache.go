@@ -8,6 +8,21 @@ import (
 	"sync"
 
 	"chatgraph/internal/graph"
+	"chatgraph/internal/metrics"
+)
+
+// Process-wide invocation-cache instruments, aggregated across every
+// InvokeCache instance (the per-instance Counters/Evictions accessors stay
+// for tests and in-process introspection).
+var (
+	mCacheHits = metrics.Default().Counter("chatgraph_invoke_cache_hits_total",
+		"Memoized API invocations served from the cache.", nil)
+	mCacheMisses = metrics.Default().Counter("chatgraph_invoke_cache_misses_total",
+		"Memoizable API invocations that had to run.", nil)
+	mCacheEvictions = metrics.Default().Counter("chatgraph_invoke_cache_evictions_total",
+		"Entries evicted for capacity.", nil)
+	mCacheInvalidations = metrics.Default().Counter("chatgraph_invoke_cache_invalidations_total",
+		"Entries dropped because their graph version went stale.", nil)
 )
 
 // cacheKey identifies one memoizable invocation: the graph instance, its
@@ -35,6 +50,10 @@ type InvokeCache struct {
 	entries  map[cacheKey]*list.Element
 	hits     uint64
 	misses   uint64
+	// evictions counts capacity evictions; invalidations counts entries
+	// dropped because a newer version of their graph was cached.
+	evictions     uint64
+	invalidations uint64
 }
 
 type cacheEntry struct {
@@ -64,9 +83,11 @@ func (c *InvokeCache) get(k cacheKey) (Output, bool) {
 	el, ok := c.entries[k]
 	if !ok {
 		c.misses++
+		mCacheMisses.Inc()
 		return Output{}, false
 	}
 	c.hits++
+	mCacheHits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).out, true
 }
@@ -91,12 +112,16 @@ func (c *InvokeCache) put(k cacheKey, out Output) {
 	for _, el := range stale {
 		c.ll.Remove(el)
 		delete(c.entries, el.Value.(*cacheEntry).key)
+		c.invalidations++
+		mCacheInvalidations.Inc()
 	}
 	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, out: out})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		mCacheEvictions.Inc()
 	}
 }
 
@@ -112,6 +137,14 @@ func (c *InvokeCache) Counters() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns the lifetime capacity-eviction and stale-version
+// invalidation counts.
+func (c *InvokeCache) Evictions() (evictions, invalidations uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions, c.invalidations
 }
 
 // canonicalArgs renders args as a deterministic key-sorted list, so two

@@ -166,6 +166,9 @@ func TestInvokeCacheLRUEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}
+	if ev, inv := c.Evictions(); ev != 1 || inv != 0 {
+		t.Fatalf("Evictions() = (%d, %d), want (1, 0): one capacity eviction, no stale drops", ev, inv)
+	}
 }
 
 func TestCanonicalArgs(t *testing.T) {
@@ -246,6 +249,9 @@ func TestInvokeCacheStaleVersionEviction(t *testing.T) {
 	}
 	if env.Cache.Len() != 1 {
 		t.Fatalf("stale-version entries survived: Len = %d, want 1", env.Cache.Len())
+	}
+	if ev, inv := env.Cache.Evictions(); ev != 0 || inv != 3 {
+		t.Fatalf("Evictions() = (%d, %d), want (0, 3): stale drops are invalidations, not capacity evictions", ev, inv)
 	}
 }
 

@@ -141,11 +141,12 @@ var alwaysCandidates = []string{"graph.classify", "graph.stats", "report.compose
 // Ask runs the full ChatGraph pipeline for one prompt. Concurrent Ask calls
 // on the same Session are serialized (one conversation is one dialog);
 // sessions sharing an Engine do not block each other.
-func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts AskOptions) (Turn, error) {
+func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts AskOptions) (turn Turn, err error) {
 	s.askMu.Lock()
 	defer s.askMu.Unlock()
 	start := time.Now()
-	turn := Turn{Question: question}
+	defer func() { s.eng.observeAsk(start, err) }()
+	turn = Turn{Question: question}
 	if strings.TrimSpace(question) == "" {
 		return turn, fmt.Errorf("core: empty question")
 	}
@@ -195,11 +196,12 @@ func (s *Session) Ask(ctx context.Context, question string, g *graph.Graph, opts
 
 // AskWithChain skips generation and runs a user-supplied chain — the path
 // the monitoring scenario uses after the user edits a chain by hand.
-func (s *Session) AskWithChain(ctx context.Context, question string, g *graph.Graph, c chain.Chain, opts AskOptions) (Turn, error) {
+func (s *Session) AskWithChain(ctx context.Context, question string, g *graph.Graph, c chain.Chain, opts AskOptions) (turn Turn, err error) {
 	s.askMu.Lock()
 	defer s.askMu.Unlock()
 	start := time.Now()
-	turn := Turn{Question: question, Chain: c}
+	defer func() { s.eng.observeAsk(start, err) }()
+	turn = Turn{Question: question, Chain: c}
 	if g == nil {
 		g = graph.New()
 	}

@@ -3,14 +3,44 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"chatgraph/internal/apis"
 	"chatgraph/internal/config"
 	"chatgraph/internal/executor"
 	"chatgraph/internal/finetune"
 	"chatgraph/internal/llm"
+	"chatgraph/internal/metrics"
 	"chatgraph/internal/retrieve"
 )
+
+// engineMetrics are the engine-level instruments, resolved once per process
+// from the default registry (every engine in a process shares them — the
+// counters describe the process, not one engine instance).
+type engineMetrics struct {
+	asks      *metrics.Counter
+	askErrors *metrics.Counter
+	askDur    *metrics.Histogram
+	retrieveBatches *metrics.Counter
+	retrieveQueries *metrics.Counter
+}
+
+func newEngineMetrics() *engineMetrics {
+	reg := metrics.Default()
+	return &engineMetrics{
+		asks: reg.Counter("chatgraph_engine_asks_total",
+			"Completed or failed Ask pipeline runs.", nil),
+		askErrors: reg.Counter("chatgraph_engine_ask_errors_total",
+			"Ask pipeline runs that returned an error.", nil),
+		askDur: reg.Histogram("chatgraph_engine_ask_duration_seconds",
+			"End-to-end Ask latency (retrieval + prompt + generation + execution).",
+			metrics.DefBuckets, nil),
+		retrieveBatches: reg.Counter("chatgraph_engine_retrieve_batches_total",
+			"RetrieveBatch calls.", nil),
+		retrieveQueries: reg.Counter("chatgraph_engine_retrieve_queries_total",
+			"Queries answered across all RetrieveBatch calls.", nil),
+	}
+}
 
 // Engine is the immutable, concurrency-safe bundle of everything expensive
 // that ChatGraph conversations share: the API registry, the substrate
@@ -32,6 +62,8 @@ type Engine struct {
 	// name → description map, taken once at construction so the per-Ask
 	// prompt build neither copies the map nor shares mutable state.
 	descs map[string]string
+	// met are the process-wide engine instruments (never nil).
+	met *engineMetrics
 	// fileConfig is set when the engine was built from a config file.
 	fileConfig *config.Config
 }
@@ -96,6 +128,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		exec:     executor.New(cfg.Registry, cfg.Env),
 		cfg:      cfg,
 		descs:    ix.Descriptions(),
+		met:      newEngineMetrics(),
 	}, nil
 }
 
@@ -167,7 +200,19 @@ func (e *Engine) RetrieveBatch(queries []string, k int) [][]retrieve.Scored {
 	if k <= 0 {
 		k = e.cfg.RetrievalK
 	}
+	e.met.retrieveBatches.Inc()
+	e.met.retrieveQueries.Add(uint64(len(queries)))
 	return e.index.TopAPIsBatch(queries, k)
+}
+
+// observeAsk records one Ask pipeline run (success or failure) in the
+// engine instruments. Called via defer from Session.Ask/AskWithChain.
+func (e *Engine) observeAsk(start time.Time, err error) {
+	e.met.asks.Inc()
+	e.met.askDur.Observe(time.Since(start).Seconds())
+	if err != nil {
+		e.met.askErrors.Inc()
+	}
 }
 
 // Env exposes the shared substrate environment.

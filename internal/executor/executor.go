@@ -19,6 +19,24 @@ import (
 	"chatgraph/internal/apis"
 	"chatgraph/internal/chain"
 	"chatgraph/internal/graph"
+	"chatgraph/internal/metrics"
+)
+
+// Process-wide execution instruments: resolved once so Run pays only atomic
+// increments, never a registry lookup.
+var (
+	mChainsOK = metrics.Default().Counter("chatgraph_executor_chains_total",
+		"Chain executions by outcome.", metrics.Labels{"outcome": "ok"})
+	mChainsErr = metrics.Default().Counter("chatgraph_executor_chains_total",
+		"Chain executions by outcome.", metrics.Labels{"outcome": "error"})
+	mChainsCancelled = metrics.Default().Counter("chatgraph_executor_chains_total",
+		"Chain executions by outcome.", metrics.Labels{"outcome": "cancelled"})
+	mChainsRejected = metrics.Default().Counter("chatgraph_executor_chains_total",
+		"Chain executions by outcome.", metrics.Labels{"outcome": "rejected"})
+	mSteps = metrics.Default().Counter("chatgraph_executor_steps_total",
+		"Chain steps executed.", nil)
+	mStepFailures = metrics.Default().Counter("chatgraph_executor_step_failures_total",
+		"Chain steps that returned an error.", nil)
 )
 
 // EventType enumerates progress notifications.
@@ -134,6 +152,7 @@ func (e *Executor) Run(ctx context.Context, g *graph.Graph, c chain.Chain, opts 
 	if opts.Confirm != nil {
 		edited, ok := opts.Confirm(c)
 		if !ok {
+			mChainsRejected.Inc()
 			return Result{}, ErrRejected
 		}
 		if edited != nil {
@@ -153,13 +172,17 @@ func (e *Executor) Run(ctx context.Context, g *graph.Graph, c chain.Chain, opts 
 	for i, s := range c {
 		select {
 		case <-ctx.Done():
+			mChainsCancelled.Inc()
 			emit(Event{Type: EventCancelled, StepIndex: i, Step: s, Elapsed: time.Since(start), Err: ctx.Err()})
 			return res, fmt.Errorf("executor: cancelled at step %d: %w", i+1, ctx.Err())
 		default:
 		}
 		emit(Event{Type: EventStepStart, StepIndex: i, Step: s, Elapsed: time.Since(start)})
 		out, err := e.reg.Invoke(s, apis.Input{Graph: g, Prev: prev, Args: s.Args, Env: e.env})
+		mSteps.Inc()
 		if err != nil {
+			mStepFailures.Inc()
+			mChainsErr.Inc()
 			emit(Event{Type: EventStepFailed, StepIndex: i, Step: s, Err: err, Elapsed: time.Since(start)})
 			return res, fmt.Errorf("executor: step %d (%s): %w", i+1, s.API, err)
 		}
@@ -169,6 +192,7 @@ func (e *Executor) Run(ctx context.Context, g *graph.Graph, c chain.Chain, opts 
 	}
 	res.Final = prev
 	res.Elapsed = time.Since(start)
+	mChainsOK.Inc()
 	emit(Event{Type: EventChainDone, StepIndex: -1, Text: res.Final.Text, Elapsed: res.Elapsed})
 	return res, nil
 }

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"chatgraph/internal/metrics"
+)
+
+// httpMetrics holds the server's pre-resolved metric handles: everything the
+// per-request path touches is created once here, so handlers pay atomics
+// only, never a registry lookup.
+type httpMetrics struct {
+	reg *metrics.Registry
+	// inFlight counts requests inside any instrumented handler.
+	inFlight *metrics.Gauge
+	// gatedInFlight counts requests currently admitted past the max-in-flight
+	// gate — the value the cap is enforced against.
+	gatedInFlight *metrics.Gauge
+	shedInFlight  *metrics.Counter
+	shedRate      *metrics.Counter
+	routes        map[string]*routeMetrics
+}
+
+// routeMetrics is one route's instrument set: a latency histogram plus one
+// counter per status class (1xx..5xx), resolved at registration time.
+type routeMetrics struct {
+	classes  [6]*metrics.Counter
+	duration *metrics.Histogram
+}
+
+var statusClasses = [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+func newHTTPMetrics(reg *metrics.Registry) *httpMetrics {
+	return &httpMetrics{
+		reg: reg,
+		inFlight: reg.Gauge("chatgraph_http_in_flight",
+			"Requests currently being served.", nil),
+		gatedInFlight: reg.Gauge("chatgraph_http_gated_in_flight",
+			"Requests admitted past the max-in-flight gate and still running.", nil),
+		shedInFlight: reg.Counter("chatgraph_http_shed_total",
+			"Requests shed with 429.", metrics.Labels{"reason": "in_flight"}),
+		shedRate: reg.Counter("chatgraph_http_shed_total",
+			"Requests shed with 429.", metrics.Labels{"reason": "session_rate"}),
+		routes: make(map[string]*routeMetrics),
+	}
+}
+
+// route registers (or returns) the instrument set for one route name. Called
+// only while the Handler route table is built.
+func (hm *httpMetrics) route(name string) *routeMetrics {
+	if rm, ok := hm.routes[name]; ok {
+		return rm
+	}
+	rm := &routeMetrics{
+		duration: hm.reg.Histogram("chatgraph_http_request_duration_seconds",
+			"Request latency by route.", metrics.DefBuckets, metrics.Labels{"route": name}),
+	}
+	for class := 1; class <= 5; class++ {
+		rm.classes[class] = hm.reg.Counter("chatgraph_http_requests_total",
+			"Requests by route and status class.",
+			metrics.Labels{"route": name, "class": statusClasses[class]})
+	}
+	hm.routes[name] = rm
+	return rm
+}
+
+// statusWriter captures the response status for the class counter while
+// passing Flush through so NDJSON streaming keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps h with the per-route request counter, latency histogram,
+// and the process-wide in-flight gauge.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	rm := s.hm.route(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.hm.inFlight.Inc()
+		defer s.hm.inFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		rm.duration.Observe(time.Since(start).Seconds())
+		class := sw.status / 100
+		if class < 1 || class > 5 {
+			class = 2 // a handler that never wrote implies an implicit 200
+		}
+		rm.classes[class].Inc()
+	})
+}
+
+// admission gates h behind the server's overload policy: a max-in-flight
+// semaphore that sheds excess load with 429 + Retry-After, and a per-request
+// context deadline so a stuck chain cannot pin a session lock forever.
+// Health and metrics routes are never gated — an overloaded server must
+// still report that it is overloaded.
+func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if max := s.opts.MaxInFlight; max > 0 {
+			if cur := s.hm.gatedInFlight.Inc(); cur > int64(max) {
+				s.hm.gatedInFlight.Dec()
+				s.hm.shedInFlight.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, r, http.StatusTooManyRequests, "server over capacity, retry later")
+				return
+			}
+			defer s.hm.gatedInFlight.Dec()
+		}
+		if t := s.opts.RequestTimeout; t > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), t)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next(w, r)
+	}
+}
+
+// tokenBucket is a classic continuous-refill rate limiter; one lives on each
+// managed session. The mutex is per-session, so concurrent chats on
+// different sessions never contend.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	primed bool
+}
+
+// take removes one token, refilling at rate tokens/sec up to burst. When the
+// bucket is empty it reports how long until a token is available.
+func (b *tokenBucket) take(rate, burst float64, now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.primed {
+		b.tokens = burst
+		b.last = now
+		b.primed = true
+	}
+	// Refill and advance the clock only for forward time: now is read
+	// before the mutex is taken, so a late-arriving earlier timestamp must
+	// not rewind last (that would refill the same interval twice).
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(burst, b.tokens+elapsed*rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / rate * float64(time.Second))
+}
+
+// sessionBurst resolves the configured burst: default is one second's worth
+// of tokens, never less than 1.
+func (s *Server) sessionBurst() float64 {
+	if s.opts.SessionBurst > 0 {
+		return float64(s.opts.SessionBurst)
+	}
+	return math.Max(1, math.Ceil(s.opts.SessionRate))
+}
+
+// rateLimit applies the per-session token bucket, writing the 429 itself
+// when the session is over budget. A zero SessionRate disables limiting.
+func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request, m *managed) (ok bool) {
+	if s.opts.SessionRate <= 0 {
+		return true
+	}
+	allowed, retry := m.bucket.take(s.opts.SessionRate, s.sessionBurst(), time.Now())
+	if allowed {
+		return true
+	}
+	s.hm.shedRate.Inc()
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, r, http.StatusTooManyRequests, "session rate limit exceeded, retry later")
+	return false
+}

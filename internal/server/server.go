@@ -14,6 +14,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"chatgraph/internal/core"
 	"chatgraph/internal/executor"
 	"chatgraph/internal/graph"
+	"chatgraph/internal/metrics"
 )
 
 // Options tunes the server.
@@ -30,49 +32,108 @@ type Options struct {
 	SessionTTL time.Duration
 	// MaxSessions caps live sessions (0 → DefaultMaxSessions).
 	MaxSessions int
+	// Metrics is the registry the server-layer series (HTTP middleware,
+	// shedding, session gauges) instrument into, and the one GET /metrics
+	// serves. nil → metrics.Default(). The engine, executor, and
+	// invoke-cache series always live in metrics.Default() — they describe
+	// the process, not one server — so pass a custom registry only to
+	// isolate the server-layer series (tests do); production servers should
+	// leave it nil so one scrape sees everything.
+	Metrics *metrics.Registry
+	// MaxInFlight caps concurrently admitted requests on the gated routes
+	// (chat, retrieve, session CRUD); excess load is shed with 429 +
+	// Retry-After. 0 disables the gate.
+	MaxInFlight int
+	// SessionRate is the per-session token-bucket refill rate in requests
+	// per second for chat; 0 disables rate limiting.
+	SessionRate float64
+	// SessionBurst is the token-bucket capacity (0 → one second's worth of
+	// tokens, minimum 1).
+	SessionBurst int
+	// RequestTimeout bounds one gated request's lifetime via a context
+	// deadline; expired chats answer 504. 0 disables the deadline.
+	RequestTimeout time.Duration
 }
 
 // Server routes HTTP traffic onto a shared core.Engine. Conversation state
 // lives in per-session objects managed by the SessionManager; the engine
 // itself is immutable, so no server-wide lock exists on the chat path.
 type Server struct {
-	eng *core.Engine
-	mgr *SessionManager
+	eng  *core.Engine
+	mgr  *SessionManager
+	opts Options
+	hm   *httpMetrics
 	// legacy backs the pre-v1 single-conversation POST /chat endpoint.
 	legacy *core.Session
 }
 
 // New returns a Server over eng.
 func New(eng *core.Engine, opts Options) *Server {
-	return &Server{
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	s := &Server{
 		eng:    eng,
 		mgr:    NewSessionManager(eng, opts.SessionTTL, opts.MaxSessions),
+		opts:   opts,
+		hm:     newHTTPMetrics(reg),
 		legacy: eng.NewSession(),
 	}
+	// Session gauges read the manager's own bookkeeping at scrape time — no
+	// extra work on the session hot path.
+	reg.GaugeFunc("chatgraph_sessions_live",
+		"Live (unexpired) v1 sessions.", nil,
+		func() float64 { return float64(s.mgr.Len()) })
+	reg.CounterFunc("chatgraph_sessions_created_total",
+		"v1 sessions ever created.", nil,
+		func() float64 { return float64(s.mgr.created.Load()) })
+	reg.CounterFunc("chatgraph_sessions_expired_total",
+		"v1 sessions evicted by TTL expiry.", nil,
+		func() float64 { return float64(s.mgr.expired.Load()) })
+	reg.CounterFunc("chatgraph_sessions_deleted_total",
+		"v1 sessions explicitly deleted.", nil,
+		func() float64 { return float64(s.mgr.deleted.Load()) })
+	return s
 }
+
+// Metrics returns the registry the server instruments into.
+func (s *Server) Metrics() *metrics.Registry { return s.hm.reg }
 
 // Sessions exposes the session manager (daemons wire flags and sweepers to
 // it; tests inspect it).
 func (s *Server) Sessions() *SessionManager { return s.mgr }
 
-// Handler returns the route table wrapped with request-ID tagging.
+// Handler returns the route table wrapped with request-ID tagging. Every
+// route is instrumented (request counter, latency histogram, in-flight
+// gauge) under a stable low-cardinality route name; the heavy routes are
+// additionally gated by the admission policy (max-in-flight shedding and
+// the per-request deadline). /healthz and /metrics bypass the gate so an
+// overloaded server still reports that it is overloaded.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	handle := func(pattern, route string, h http.HandlerFunc, gated bool) {
+		if gated {
+			h = s.admission(h)
+		}
+		mux.Handle(pattern, s.instrument(route, h))
+	}
 	// v1 multi-session surface.
-	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
-	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
-	mux.HandleFunc("POST /v1/sessions/{id}/chat", s.handleSessionChat)
-	mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleSessionHistory)
-	mux.HandleFunc("POST /v1/retrieve", s.handleRetrieve)
+	handle("POST /v1/sessions", "v1.sessions.create", s.handleSessionCreate, true)
+	handle("GET /v1/sessions", "v1.sessions.list", s.handleSessionList, true)
+	handle("DELETE /v1/sessions/{id}", "v1.sessions.delete", s.handleSessionDelete, true)
+	handle("POST /v1/sessions/{id}/chat", "v1.chat", s.handleSessionChat, true)
+	handle("GET /v1/sessions/{id}/history", "v1.history", s.handleSessionHistory, true)
+	handle("POST /v1/retrieve", "v1.retrieve", s.handleRetrieve, true)
 	// Legacy single-conversation surface.
-	mux.HandleFunc("/chat", s.handleChat)
-	mux.HandleFunc("/apis", s.handleAPIs)
-	mux.HandleFunc("/suggest", s.handleSuggest)
-	mux.HandleFunc("/config", s.handleConfig)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle("/chat", "chat", s.handleChat, true)
+	handle("/apis", "apis", s.handleAPIs, false)
+	handle("/suggest", "suggest", s.handleSuggest, false)
+	handle("/config", "config", s.handleConfig, false)
+	handle("/healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}, false)
+	mux.Handle("GET /metrics", s.instrument("metrics", s.hm.reg.Handler()))
 	return withRequestID(mux)
 }
 
@@ -175,6 +236,9 @@ func (s *Server) handleSessionChat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusNotFound, "no such session")
 		return
 	}
+	if !s.rateLimit(w, r, m) {
+		return
+	}
 	q, g, ok := decodeChat(w, r)
 	if !ok {
 		return
@@ -186,10 +250,20 @@ func (s *Server) handleSessionChat(w http.ResponseWriter, r *http.Request) {
 	}
 	turn, err := m.Session.Ask(r.Context(), q, g, core.AskOptions{})
 	if err != nil {
-		writeError(w, r, http.StatusUnprocessableEntity, err.Error())
+		writeError(w, r, askStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, chatResponse(turn))
+}
+
+// askStatus maps an Ask failure to its HTTP status: a request that ran out
+// of its deadline is the server's timeout (504), everything else is the
+// question's fault (422).
+func askStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // streamChat answers one Ask as NDJSON: one line per execution event as it
@@ -385,7 +459,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	// its own Ask calls, so no server-level lock is needed.
 	turn, err := s.legacy.Ask(r.Context(), q, g, core.AskOptions{})
 	if err != nil {
-		writeError(w, r, http.StatusUnprocessableEntity, err.Error())
+		writeError(w, r, askStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, chatResponse(turn))

@@ -32,6 +32,8 @@ type managed struct {
 	Created time.Time
 	// lastUsed is unix nanoseconds, advanced on every touch.
 	lastUsed atomic.Int64
+	// bucket rate-limits this session's chat requests (see Server.rateLimit).
+	bucket tokenBucket
 }
 
 func (m *managed) touch(now time.Time)  { m.lastUsed.Store(now.UnixNano()) }
@@ -56,6 +58,10 @@ type SessionManager struct {
 	// createMu makes the capacity check-then-insert atomic so a burst of
 	// creates cannot overshoot max.
 	createMu sync.Mutex
+	// Lifecycle tallies, read by the metrics counter funcs at scrape time.
+	created atomic.Int64
+	expired atomic.Int64
+	deleted atomic.Int64
 }
 
 // NewSessionManager returns a manager minting sessions from eng. ttl ≤ 0
@@ -95,6 +101,7 @@ func (sm *SessionManager) Create() (*managed, error) {
 	m.touch(now)
 	sm.sessions.Store(m.ID, m)
 	sm.count.Add(1)
+	sm.created.Add(1)
 	return m, nil
 }
 
@@ -108,7 +115,7 @@ func (sm *SessionManager) Get(id string) (*managed, error) {
 	m := v.(*managed)
 	now := time.Now()
 	if m.expired(now, sm.ttl) {
-		sm.remove(id)
+		sm.removeExpired(id)
 		return nil, ErrNoSession
 	}
 	m.touch(now)
@@ -117,7 +124,13 @@ func (sm *SessionManager) Get(id string) (*managed, error) {
 
 // Delete removes the session with the given ID, reporting whether it was
 // live.
-func (sm *SessionManager) Delete(id string) bool { return sm.remove(id) }
+func (sm *SessionManager) Delete(id string) bool {
+	if sm.remove(id) {
+		sm.deleted.Add(1)
+		return true
+	}
+	return false
+}
 
 // Sweep removes every expired session and returns how many it removed.
 func (sm *SessionManager) Sweep() int {
@@ -125,13 +138,21 @@ func (sm *SessionManager) Sweep() int {
 	removed := 0
 	sm.sessions.Range(func(key, value any) bool {
 		if value.(*managed).expired(now, sm.ttl) {
-			if sm.remove(key.(string)) {
+			if sm.removeExpired(key.(string)) {
 				removed++
 			}
 		}
 		return true
 	})
 	return removed
+}
+
+func (sm *SessionManager) removeExpired(id string) bool {
+	if sm.remove(id) {
+		sm.expired.Add(1)
+		return true
+	}
+	return false
 }
 
 func (sm *SessionManager) remove(id string) bool {
