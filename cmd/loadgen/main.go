@@ -20,6 +20,15 @@
 // when observability breaks. -strict exits non-zero on any error or failed
 // probe.
 //
+// -reupload (default true) is the E13 workload: every chat request carries
+// the full graph JSON in its body, the way stateless clients actually
+// behave — the scenario that scored 0% invoke-cache hits before graphs
+// were content-addressed. -reupload=false sends question-only chats.
+// Either way the report's "cache" block records the server-side invoke
+// cache and graph-intern hit rates over the run, read as /metrics counter
+// deltas, so the cache effectiveness of a workload is part of the checked
+// in benchmark, not a separate observation.
+//
 // Example:
 //
 //	chatgraphd -addr :8080 &
@@ -39,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -59,6 +69,7 @@ func main() {
 		queries     = flag.Int("queries", 4, "queries per retrieve batch")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		seed        = flag.Int64("seed", 7, "workload RNG seed (graph shape, op mix)")
+		reupload    = flag.Bool("reupload", true, "send the graph JSON with every chat request (the stateless-client workload); false sends question-only chats")
 		jsonPath    = flag.String("json", "", "write the machine-readable report (BENCH_serving.json schema) to this file")
 		strict      = flag.Bool("strict", false, "exit 1 on any transport/status error or failed healthz//metrics probe")
 	)
@@ -84,10 +95,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("loadgen: marshal graph: %v", err)
 	}
-	chatBody, err := json.Marshal(map[string]any{
+	chatPayload := map[string]any{
 		"question": "Summarize the statistics of the graph",
-		"graph":    json.RawMessage(graphJSON),
-	})
+	}
+	if *reupload {
+		chatPayload["graph"] = json.RawMessage(graphJSON)
+	}
+	chatBody, err := json.Marshal(chatPayload)
 	if err != nil {
 		log.Fatalf("loadgen: marshal chat body: %v", err)
 	}
@@ -114,6 +128,10 @@ func main() {
 		}
 		pool = append(pool, id)
 	}
+
+	// Baseline cache counters: the cache block reports deltas over the run,
+	// so earlier traffic against the same daemon doesn't pollute the rates.
+	cacheBefore := scrapeCacheCounters(client, base+"/metrics")
 
 	run := newRunStats()
 	doOp := func(w *rand.Rand, worker int) {
@@ -189,8 +207,11 @@ func main() {
 	// cannot say it is healthy.
 	healthzOK := probe(client, base+"/healthz", "")
 	metricsOK := probe(client, base+"/metrics", "chatgraph_http_requests_total")
+	cacheAfter := scrapeCacheCounters(client, base+"/metrics")
 
 	report := run.report(*mode, base, elapsed, *concurrency, *rate, *chatFrac, len(pool), healthzOK, metricsOK)
+	report.Reupload = *reupload
+	report.Cache = cacheDelta(cacheBefore, cacheAfter)
 	report.print(os.Stdout)
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -245,6 +266,80 @@ func post(client *http.Client, url string, body []byte) (status int, err error) 
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
 	return resp.StatusCode, nil
+}
+
+// cacheCounters are the raw /metrics samples the report's cache block is
+// computed from. ok distinguishes a successful scrape from an absent or
+// unreadable endpoint (older daemons, metrics disabled).
+type cacheCounters struct {
+	invokeHits, invokeMisses float64
+	internHits, internMisses float64
+	ok                       bool
+}
+
+// scrapeCacheCounters reads the unlabeled cache counters from the
+// Prometheus text exposition (lines are "name value" for plain counters).
+func scrapeCacheCounters(client *http.Client, url string) cacheCounters {
+	resp, err := client.Get(url)
+	if err != nil {
+		return cacheCounters{}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return cacheCounters{}
+	}
+	c := cacheCounters{ok: true}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "chatgraph_invoke_cache_hits_total":
+			c.invokeHits = v
+		case "chatgraph_invoke_cache_misses_total":
+			c.invokeMisses = v
+		case "chatgraph_graphstore_hits_total":
+			c.internHits = v
+		case "chatgraph_graphstore_misses_total":
+			c.internMisses = v
+		}
+	}
+	return c
+}
+
+// cacheDelta turns two scrapes into the report's cache block; nil when
+// either scrape failed.
+func cacheDelta(before, after cacheCounters) *CacheReport {
+	if !before.ok || !after.ok {
+		return nil
+	}
+	delta := func(a, b float64) uint64 {
+		if a < b {
+			return 0
+		}
+		return uint64(a - b)
+	}
+	r := &CacheReport{
+		InvokeHits:   delta(after.invokeHits, before.invokeHits),
+		InvokeMisses: delta(after.invokeMisses, before.invokeMisses),
+		InternHits:   delta(after.internHits, before.internHits),
+		InternMisses: delta(after.internMisses, before.internMisses),
+	}
+	rate := func(hits, misses uint64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return round2(100 * float64(hits) / float64(hits+misses))
+	}
+	r.InvokeHitRatePct = rate(r.InvokeHits, r.InvokeMisses)
+	r.InternHitRatePct = rate(r.InternHits, r.InternMisses)
+	return r
 }
 
 func probe(client *http.Client, url, mustContain string) bool {
@@ -327,8 +422,21 @@ type OpReport struct {
 	Latency       LatencySummary `json:"latency"`
 }
 
+// CacheReport is the server-side cache behavior over one run, computed as
+// /metrics counter deltas: the invocation cache (memoized API calls) and
+// the graph intern store (upload dedup). Hit rates are percentages.
+type CacheReport struct {
+	InvokeHits       uint64  `json:"invoke_hits"`
+	InvokeMisses     uint64  `json:"invoke_misses"`
+	InvokeHitRatePct float64 `json:"invoke_hit_rate_pct"`
+	InternHits       uint64  `json:"intern_hits"`
+	InternMisses     uint64  `json:"intern_misses"`
+	InternHitRatePct float64 `json:"intern_hit_rate_pct"`
+}
+
 // Report is the loadgen output schema (BENCH_serving.json). Schema is
-// versioned so the perf-trajectory tooling can evolve it.
+// versioned so the perf-trajectory tooling can evolve it; the reupload and
+// cache fields are additive.
 type Report struct {
 	Schema      string              `json:"schema"`
 	Target      string              `json:"target"`
@@ -338,11 +446,13 @@ type Report struct {
 	RateRPS     float64             `json:"rate_rps,omitempty"`
 	ChatFrac    float64             `json:"chat_fraction"`
 	Sessions    int                 `json:"sessions"`
+	Reupload    bool                `json:"reupload"`
 	Drops       int                 `json:"open_loop_drops,omitempty"`
 	HealthzOK   bool                `json:"healthz_ok"`
 	MetricsOK   bool                `json:"metrics_ok"`
 	Total       OpReport            `json:"total"`
 	Ops         map[string]OpReport `json:"ops"`
+	Cache       *CacheReport        `json:"cache,omitempty"`
 }
 
 func summarize(lat []float64, requests, ok, shed, errs int, elapsed time.Duration) OpReport {
@@ -443,5 +553,10 @@ func (rep Report) print(w io.Writer) {
 	row("total", rep.Total)
 	if rep.Drops > 0 {
 		fmt.Fprintf(w, "open-loop arrivals dropped at the client (all %d slots busy): %d\n", rep.Concurrency, rep.Drops)
+	}
+	if c := rep.Cache; c != nil {
+		fmt.Fprintf(w, "invoke cache %d hits / %d misses (%.1f%%) · graph intern %d hits / %d misses (%.1f%%) · reupload=%v\n",
+			c.InvokeHits, c.InvokeMisses, c.InvokeHitRatePct,
+			c.InternHits, c.InternMisses, c.InternHitRatePct, rep.Reupload)
 	}
 }

@@ -99,10 +99,15 @@ type API struct {
 	// Params documents accepted arguments.
 	Params []Param
 	// Memoizable marks APIs whose Output is a pure function of (graph
-	// version, args): they read only the graph and their arguments — never
+	// content, args): they read only the graph and their arguments — never
 	// Prev, never mutable Env state — and do not mutate the graph. Only
 	// these are eligible for the Env invocation cache.
 	Memoizable bool
+	// Mutates marks APIs that edit the graph they receive. The executor
+	// uses it to clone interned (shared) graphs before running a chain that
+	// contains one, so graph edits stay private to the requesting session.
+	// Mutates and Memoizable are mutually exclusive.
+	Mutates bool
 	// Fn executes the API.
 	Fn func(Input) (Output, error)
 }
@@ -122,6 +127,9 @@ func NewRegistry() *Registry {
 func (r *Registry) Register(a API) error {
 	if a.Name == "" || a.Fn == nil {
 		return fmt.Errorf("apis: API must have a name and an implementation")
+	}
+	if a.Memoizable && a.Mutates {
+		return fmt.Errorf("apis: %q cannot be both Memoizable and Mutates", a.Name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -237,10 +245,12 @@ func (r *Registry) ValidateStep(s chain.Step) error {
 
 // Invoke validates and executes one step against in. Memoizable APIs are
 // served from (and stored into) the Env invocation cache keyed by the
-// graph's mutation version, so repeating a step on an unmutated graph
-// short-circuits without re-running the implementation. A result is only
-// cached when the graph version is unchanged after the call — a safety net
-// against an API marked Memoizable that mutates anyway.
+// graph's content hash, so repeating a step on the same graph content —
+// whether the same instance, a re-upload in another session, or a fresh
+// parse of identical JSON — short-circuits without re-running the
+// implementation. A result is only cached when the graph version is
+// unchanged after the call — a safety net against an API marked Memoizable
+// that mutates anyway.
 func (r *Registry) Invoke(s chain.Step, in Input) (Output, error) {
 	if err := r.ValidateStep(s); err != nil {
 		return Output{}, err
@@ -250,7 +260,13 @@ func (r *Registry) Invoke(s chain.Step, in Input) (Output, error) {
 		in.Args = s.Args
 	}
 	if a.Memoizable && in.Graph != nil && in.Env != nil && in.Env.Cache != nil {
-		key := cacheKey{graph: in.Graph, version: in.Graph.Version(), api: a.Name, args: canonicalArgs(in.Args)}
+		key := cacheKey{
+			hash:    in.Graph.ContentHash(),
+			exact:   in.Graph.ExactHash(),
+			version: in.Graph.Version(),
+			api:     a.Name,
+			args:    canonicalArgs(in.Args),
+		}
 		if out, ok := in.Env.Cache.get(key); ok {
 			return out, nil
 		}
@@ -261,6 +277,19 @@ func (r *Registry) Invoke(s chain.Step, in Input) (Output, error) {
 		return out, err
 	}
 	return a.Fn(in)
+}
+
+// ChainMutates reports whether any step of c names an API flagged Mutates.
+// Unknown APIs are treated as mutating — validation will reject the chain
+// anyway, and a conservative answer never shares what it should not.
+func (r *Registry) ChainMutates(c chain.Chain) bool {
+	for _, s := range c {
+		a, ok := r.Get(s.API)
+		if !ok || a.Mutates {
+			return true
+		}
+	}
+	return false
 }
 
 // Default builds the full built-in catalog wired to env. A nil env gets

@@ -21,18 +21,25 @@ var (
 		"Memoizable API invocations that had to run.", nil)
 	mCacheEvictions = metrics.Default().Counter("chatgraph_invoke_cache_evictions_total",
 		"Entries evicted for capacity.", nil)
-	mCacheInvalidations = metrics.Default().Counter("chatgraph_invoke_cache_invalidations_total",
-		"Entries dropped because their graph version went stale.", nil)
 )
 
-// cacheKey identifies one memoizable invocation: the graph instance, its
-// mutation version at invoke time, the API, and the canonicalized arguments.
-// The graph pointer is part of the key (versions are per-graph counters, so
-// two different graphs can share a version number); while an entry lives in
-// the cache it keeps its graph reachable, which also rules out a recycled
-// address colliding with a stale entry.
+// cacheKey identifies one memoizable invocation by graph *content*, not
+// graph pointer: the canonical content hash, the index-order exact hash,
+// the graph's mutation version at invoke time, the API, and the
+// canonicalized arguments. Content keying is what lets two sessions that
+// upload the same graph share one entry pool, and it removes the
+// pointer-keying hazard entirely: the cache holds no graph references, so
+// a freed graph's recycled address can never alias a stale entry — an old
+// entry is reachable only by presenting the same content again, in which
+// case it is not stale. The exact hash is the equality witness: canonical
+// hashing erases ordering (by design), but node IDs are observable through
+// args and outputs, so WL-equivalent or permuted graphs must not share
+// entries. The version rides along as a belt-and-suspenders discriminator
+// (identical parses of identical JSON produce identical versions, so
+// cross-upload sharing is unaffected).
 type cacheKey struct {
-	graph   *graph.Graph
+	hash    graph.ContentHash
+	exact   graph.ExactHash
 	version uint64
 	api     string
 	args    string
@@ -50,10 +57,10 @@ type InvokeCache struct {
 	entries  map[cacheKey]*list.Element
 	hits     uint64
 	misses   uint64
-	// evictions counts capacity evictions; invalidations counts entries
-	// dropped because a newer version of their graph was cached.
-	evictions     uint64
-	invalidations uint64
+	// evictions counts capacity evictions. Content-keyed entries are never
+	// "stale" (the hash is the content), so capacity is the only reason an
+	// entry leaves.
+	evictions uint64
 }
 
 type cacheEntry struct {
@@ -100,21 +107,10 @@ func (c *InvokeCache) put(k cacheKey, out Output) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	// A new version of a graph means every entry for its older versions is
-	// dead — drop them now instead of letting them pin the graph until LRU
-	// eviction. O(capacity) walk, paid once per cold (recomputing) call.
-	var stale []*list.Element
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		if e := el.Value.(*cacheEntry); e.key.graph == k.graph && e.key.version != k.version {
-			stale = append(stale, el)
-		}
-	}
-	for _, el := range stale {
-		c.ll.Remove(el)
-		delete(c.entries, el.Value.(*cacheEntry).key)
-		c.invalidations++
-		mCacheInvalidations.Inc()
-	}
+	// No stale-version sweep: the content hash in the key means an entry
+	// for an older version of some graph is still a correct answer for any
+	// graph presenting that older content; unreferenced old content simply
+	// ages out of the LRU.
 	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, out: out})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
@@ -139,12 +135,11 @@ func (c *InvokeCache) Counters() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// Evictions returns the lifetime capacity-eviction and stale-version
-// invalidation counts.
-func (c *InvokeCache) Evictions() (evictions, invalidations uint64) {
+// Evictions returns the lifetime capacity-eviction count.
+func (c *InvokeCache) Evictions() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.evictions, c.invalidations
+	return c.evictions
 }
 
 // canonicalArgs renders args as a deterministic key-sorted list, so two

@@ -1,6 +1,7 @@
 package apis
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -147,8 +148,7 @@ func TestInvokeCacheMutatingAPIUncached(t *testing.T) {
 
 func TestInvokeCacheLRUEviction(t *testing.T) {
 	c := NewInvokeCache(2)
-	g := graph.New()
-	k := func(api string) cacheKey { return cacheKey{graph: g, api: api} }
+	k := func(api string) cacheKey { return cacheKey{api: api} }
 	c.put(k("a"), Output{Text: "a"})
 	c.put(k("b"), Output{Text: "b"})
 	if _, ok := c.get(k("a")); !ok {
@@ -166,8 +166,8 @@ func TestInvokeCacheLRUEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}
-	if ev, inv := c.Evictions(); ev != 1 || inv != 0 {
-		t.Fatalf("Evictions() = (%d, %d), want (1, 0): one capacity eviction, no stale drops", ev, inv)
+	if ev := c.Evictions(); ev != 1 {
+		t.Fatalf("Evictions() = %d, want 1", ev)
 	}
 }
 
@@ -227,13 +227,101 @@ func TestSharedGraphInvokeRace(t *testing.T) {
 	wg.Wait()
 }
 
-// TestInvokeCacheStaleVersionEviction: storing a result for a new graph
-// version must drop the dead entries of its older versions, so mutated
-// graphs don't accumulate unreachable cache entries.
-func TestInvokeCacheStaleVersionEviction(t *testing.T) {
-	r, _, _ := countingRegistry(t)
+// TestInvokeCacheCrossInstanceHit is the E12c fix in miniature: two
+// *different* graph instances parsed from the same JSON must share one
+// cache entry — the scenario the old pointer-scoped key could never hit
+// (every upload is a fresh pointer).
+func TestInvokeCacheCrossInstanceHit(t *testing.T) {
+	r, memoRuns, _ := countingRegistry(t)
+	env := &Env{Cache: NewInvokeCache(8)}
+	data, err := json.Marshal(graph.BarabasiAlbert(20, 2, rand.New(rand.NewSource(9))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := graph.ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g2 {
+		t.Fatal("test wants two distinct instances")
+	}
+	step := chain.Step{API: "test.memo"}
+	out1, err := r.Invoke(step, Input{Graph: g1, Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := r.Invoke(step, Input{Graph: g2, Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *memoRuns != 1 {
+		t.Fatalf("identical content across instances recomputed (%d runs, want 1)", *memoRuns)
+	}
+	if out1.Text != out2.Text {
+		t.Fatalf("cross-instance outputs differ: %q vs %q", out1.Text, out2.Text)
+	}
+	if hits, misses := env.Cache.Counters(); hits != 1 || misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestInvokeCacheNoCanonicalCollisionSharing: graphs that collide under
+// the canonical ContentHash (1-WL equivalent 6-cycle vs two triangles)
+// must not share cache entries — the exact-hash key component keeps a
+// canonical coincidence from serving one graph's answers for another.
+func TestInvokeCacheNoCanonicalCollisionSharing(t *testing.T) {
+	r, memoRuns, _ := countingRegistry(t)
+	env := &Env{Cache: NewInvokeCache(8)}
+	mk := func(edges [][2]int) *graph.Graph {
+		g := graph.New()
+		for i := 0; i < 6; i++ {
+			g.AddNode("C")
+		}
+		for _, e := range edges {
+			if err := g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	cycle := mk([][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	triangles := mk([][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	if cycle.ContentHash() != triangles.ContentHash() {
+		t.Fatal("fixture assumption broken: WL twins no longer collide canonically")
+	}
+	step := chain.Step{API: "test.memo"}
+	if _, err := r.Invoke(step, Input{Graph: cycle, Env: env}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(step, Input{Graph: triangles, Env: env}); err != nil {
+		t.Fatal(err)
+	}
+	if *memoRuns != 2 {
+		t.Fatalf("canonically colliding graphs shared a cache entry (%d runs, want 2)", *memoRuns)
+	}
+}
+
+// TestInvokeCacheContentAddressed: entries for an old content survive the
+// mutation of the graph that created them (they are still correct answers
+// for that content) and keep serving any fresh upload presenting that
+// content — identity is the content, not the pointer.
+func TestInvokeCacheContentAddressed(t *testing.T) {
+	r, memoRuns, _ := countingRegistry(t)
 	env := &Env{Cache: NewInvokeCache(16)}
-	g := graph.BarabasiAlbert(10, 2, rand.New(rand.NewSource(2)))
+	data, err := json.Marshal(graph.BarabasiAlbert(10, 2, rand.New(rand.NewSource(2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Go through ParseJSON like a real upload, so the fresh re-parse below
+	// lands on the same deterministic version and the keys line up.
+	g, err := graph.ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
 	in := Input{Graph: g, Env: env}
 	for _, k := range []string{"1", "2", "3"} {
 		if _, err := r.Invoke(chain.Step{API: "test.memo", Args: map[string]string{"k": k}}, in); err != nil {
@@ -247,11 +335,21 @@ func TestInvokeCacheStaleVersionEviction(t *testing.T) {
 	if _, err := r.Invoke(chain.Step{API: "test.memo"}, in); err != nil {
 		t.Fatal(err)
 	}
-	if env.Cache.Len() != 1 {
-		t.Fatalf("stale-version entries survived: Len = %d, want 1", env.Cache.Len())
+	if env.Cache.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (old-content entries stay valid)", env.Cache.Len())
 	}
-	if ev, inv := env.Cache.Evictions(); ev != 0 || inv != 3 {
-		t.Fatalf("Evictions() = (%d, %d), want (0, 3): stale drops are invalidations, not capacity evictions", ev, inv)
+	// A fresh parse of the original JSON presents the old content; the
+	// old entries must serve it even though their creator has moved on.
+	fresh, err := graph.ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsBefore := *memoRuns
+	if _, err := r.Invoke(chain.Step{API: "test.memo", Args: map[string]string{"k": "2"}}, Input{Graph: fresh, Env: env}); err != nil {
+		t.Fatal(err)
+	}
+	if *memoRuns != runsBefore {
+		t.Fatalf("old-content entry not served to a fresh instance (%d runs, want %d)", *memoRuns, runsBefore)
 	}
 }
 

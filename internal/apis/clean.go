@@ -79,6 +79,7 @@ func registerClean(r *Registry, env *Env) {
 		Name:        "graph.apply_edits",
 		Description: "Apply the confirmed cleaning edits, removing incorrect edges and adding missing edges to repair the graph.",
 		Category:    "clean",
+		Mutates:     true,
 		Fn: func(in Input) (Output, error) {
 			issues, ok := in.Prev.Data.([]kg.Issue)
 			if !ok {
@@ -95,6 +96,7 @@ func registerClean(r *Registry, env *Env) {
 		Name:        "graph.add_edge",
 		Description: "Add a single edge with an optional label between two nodes of the graph.",
 		Category:    "clean",
+		Mutates:     true,
 		Params: []Param{
 			{Name: "from", Description: "source node id", Required: true, Kind: "int"},
 			{Name: "to", Description: "target node id", Required: true, Kind: "int"},
@@ -113,6 +115,7 @@ func registerClean(r *Registry, env *Env) {
 		Name:        "graph.remove_edge",
 		Description: "Remove a single edge between two nodes of the graph.",
 		Category:    "clean",
+		Mutates:     true,
 		Params: []Param{
 			{Name: "from", Description: "source node id", Required: true, Kind: "int"},
 			{Name: "to", Description: "target node id", Required: true, Kind: "int"},
@@ -130,6 +133,7 @@ func registerClean(r *Registry, env *Env) {
 		Name:        "graph.relabel_node",
 		Description: "Change the label of one node in the graph to fix a mislabel.",
 		Category:    "clean",
+		Mutates:     true,
 		Params: []Param{
 			{Name: "node", Description: "node id", Required: true, Kind: "int"},
 			{Name: "label", Description: "new label", Required: true},

@@ -23,6 +23,7 @@ import (
 	"chatgraph/internal/executor"
 	"chatgraph/internal/finetune"
 	"chatgraph/internal/graph"
+	"chatgraph/internal/graphstore"
 	"chatgraph/internal/llm"
 	"chatgraph/internal/retrieve"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	// Train tunes the default model's finetuning (zero value → Epochs 2,
 	// Rollouts 4).
 	Train finetune.TrainConfig
+	// GraphStore interns uploaded graphs by content hash so identical
+	// payloads share one instance, one CSR, and one invoke-cache entry
+	// pool (nil → a graphstore.DefaultCapacity store).
+	GraphStore *graphstore.Store
 }
 
 // Turn records one completed question/answer exchange.

@@ -9,6 +9,7 @@ import (
 	"chatgraph/internal/config"
 	"chatgraph/internal/executor"
 	"chatgraph/internal/finetune"
+	"chatgraph/internal/graphstore"
 	"chatgraph/internal/llm"
 	"chatgraph/internal/metrics"
 	"chatgraph/internal/retrieve"
@@ -18,9 +19,9 @@ import (
 // from the default registry (every engine in a process shares them — the
 // counters describe the process, not one engine instance).
 type engineMetrics struct {
-	asks      *metrics.Counter
-	askErrors *metrics.Counter
-	askDur    *metrics.Histogram
+	asks            *metrics.Counter
+	askErrors       *metrics.Counter
+	askDur          *metrics.Histogram
 	retrieveBatches *metrics.Counter
 	retrieveQueries *metrics.Counter
 }
@@ -57,6 +58,7 @@ type Engine struct {
 	client   llm.Client
 	index    *retrieve.Index
 	exec     *executor.Executor
+	graphs   *graphstore.Store
 	cfg      Config
 	// descs is the engine's private snapshot of the retrieval index's
 	// name → description map, taken once at construction so the per-Ask
@@ -85,6 +87,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		// invocation LRU (apis.Default installs one, but a caller-supplied
 		// Registry+Env pair may arrive without it).
 		cfg.Env.Cache = apis.NewInvokeCache(apis.DefaultInvokeCacheSize)
+	}
+	if cfg.GraphStore == nil {
+		// Engines always intern: re-uploaded graphs dedupe onto one shared
+		// instance, which is what turns the content-keyed invoke cache into
+		// a cross-session cache.
+		cfg.GraphStore = graphstore.New(0)
 	}
 	if cfg.RetrievalK <= 0 {
 		cfg.RetrievalK = 6
@@ -126,6 +134,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		client:   cfg.Client,
 		index:    ix,
 		exec:     executor.New(cfg.Registry, cfg.Env),
+		graphs:   cfg.GraphStore,
 		cfg:      cfg,
 		descs:    ix.Descriptions(),
 		met:      newEngineMetrics(),
@@ -217,6 +226,11 @@ func (e *Engine) observeAsk(start time.Time, err error) {
 
 // Env exposes the shared substrate environment.
 func (e *Engine) Env() *apis.Env { return e.env }
+
+// Graphs exposes the engine's graph interning store. The server routes every
+// uploaded graph through it so identical content resolves to one shared
+// instance.
+func (e *Engine) Graphs() *graphstore.Store { return e.graphs }
 
 // Model exposes the chain-generation model the engine was built with.
 func (e *Engine) Model() *finetune.Model { return e.model }

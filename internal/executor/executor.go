@@ -5,10 +5,16 @@
 //
 // Execution is memoizing: steps route through apis.Registry.Invoke, which
 // serves Memoizable APIs from the Env's bounded invocation LRU keyed by
-// (graph version, API, args). Re-running a chain against an unmutated graph
-// therefore emits the same events and outputs without recomputing anything;
-// any graph mutation bumps the version and invalidates every dependent
-// entry.
+// (graph content hash, version, API, args). Re-running a chain against the
+// same graph content — the same instance, or any re-upload of identical
+// JSON in any session — emits the same events and outputs without
+// recomputing anything; a mutation changes both hash and version, so every
+// dependent lookup misses.
+//
+// Execution also honors the interning contract: a graph marked Shared (one
+// instance served to every session that uploaded the same content) is
+// cloned before any chain containing a Mutates API runs, so graph edits
+// stay private to the requesting conversation.
 package executor
 
 import (
@@ -164,6 +170,13 @@ func (e *Executor) Run(ctx context.Context, g *graph.Graph, c chain.Chain, opts 
 	}
 	if len(c) > budget {
 		return Result{}, fmt.Errorf("executor: chain has %d steps, budget is %d", len(c), budget)
+	}
+	if g != nil && g.Shared() && e.reg.ChainMutates(c) {
+		// g is an interned graph shared across sessions; a chain that edits
+		// it gets a private deep copy so no other conversation observes the
+		// edits. Read-only chains keep the shared instance — that is what
+		// makes the CSR, stats memo, and invoke-cache entries shared too.
+		g = g.Clone()
 	}
 	start := time.Now()
 	emit(Event{Type: EventChainStart, StepIndex: -1, Text: c.String()})

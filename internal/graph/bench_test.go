@@ -134,6 +134,28 @@ func BenchmarkJSONRoundTrip(b *testing.B) {
 	}
 }
 
+func BenchmarkContentHash(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		g := benchGraph(b, n)
+		b.Run(fmt.Sprintf("cold_n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Re-bump so every iteration pays the full canonical hash
+				// (MarkShared-free mutation: relabel to the same value).
+				g.SetNodeLabel(0, "u0")
+				g.ContentHash()
+			}
+		})
+		b.Run(fmt.Sprintf("cached_n%d", n), func(b *testing.B) {
+			g.ContentHash()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.ContentHash()
+			}
+		})
+	}
+}
+
 func BenchmarkGenerators(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	b.Run("barabasi_albert", func(b *testing.B) {

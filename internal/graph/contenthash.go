@@ -1,0 +1,353 @@
+package graph
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Content-addressed graph identity. ContentHash fingerprints what a graph
+// *says* — labels, attributes, edges, weights, directedness, name — rather
+// than where it lives in memory or how it was built. Two graphs constructed
+// by different code paths (JSON uploads in different sessions, generators
+// run twice, permuted insertion orders) hash equal exactly when their
+// canonical content is equal, which is what lets the graphstore interning
+// layer and the content-keyed invocation cache recognize "the same graph"
+// across requests, sessions, and process lifetime of the original pointer.
+//
+// The fingerprint is a Weisfeiler-Leman style canonical hash:
+//
+//  1. every node gets a signature from its label and sorted attributes;
+//  2. a few rounds of neighborhood refinement fold each node's sorted
+//     incident-edge contributions (direction flag, neighbor signature, edge
+//     label, weight) back into its signature, so structure — not just label
+//     multisets — reaches the hash;
+//  3. the final digest covers the directedness flag, the name, the node and
+//     edge counts, the sorted multiset of node signatures, and the sorted
+//     multiset of edge signatures (endpoint signatures normalized for
+//     undirected edges).
+//
+// Sorting every multiset makes the hash invariant under node and edge
+// insertion order and under attribute-map iteration order; folding the
+// refined signatures in makes any single mutation (node/edge added or
+// removed, weight, label, or attribute changed) flip the hash with
+// overwhelming probability. Like any structural canonicalization short of
+// full graph canonization, WL-equivalent non-isomorphic graphs can collide;
+// for the upload-dedup workload (byte-identical or trivially reordered
+// payloads) that boundary is never reached.
+
+// ContentHash is a 128-bit canonical content fingerprint of one graph.
+type ContentHash [16]byte
+
+// String renders the hash as 32 hex characters.
+func (h ContentHash) String() string { return hex.EncodeToString(h[:]) }
+
+// ExactHash is a 128-bit fingerprint of one graph's representation in
+// index order: the same fields ContentHash covers, but with nodes and
+// edges hashed at their dense IDs instead of as sorted multisets. It is
+// the cheap equality witness that pairs with the canonical hash: two
+// graphs with equal ExactHash agree on everything the API surface can
+// observe — including which node is ID k — while ContentHash deliberately
+// erases ordering. Consumers that key shared state by content (the intern
+// store, the invocation cache) bucket by ContentHash and discriminate by
+// ExactHash, the usual hash-for-grouping / equality-for-truth split, so a
+// canonical-hash coincidence (WL-equivalent graphs, permuted insertions)
+// can never alias observably different graphs.
+type ExactHash [16]byte
+
+// String renders the hash as 32 hex characters.
+func (h ExactHash) String() string { return hex.EncodeToString(h[:]) }
+
+// ContentHash returns the canonical content fingerprint of g's current
+// version. Like Freeze, the computation is cached until the next mutation,
+// so repeated identity checks on an unmutated graph cost a mutex hop —
+// cheap enough to sit on the per-request intern and invoke-cache paths.
+func (g *Graph) ContentHash() ContentHash {
+	g.frozenMu.Lock()
+	defer g.frozenMu.Unlock()
+	if !g.hashValid || g.hashVersion != g.version {
+		g.hash = computeContentHash(g)
+		g.hashVersion = g.version
+		g.hashValid = true
+	}
+	return g.hash
+}
+
+// ExactHash returns the index-order fingerprint of g's current version,
+// cached like ContentHash.
+func (g *Graph) ExactHash() ExactHash {
+	g.frozenMu.Lock()
+	defer g.frozenMu.Unlock()
+	if !g.exactValid || g.exactVersion != g.version {
+		g.exact = computeExactHash(g)
+		g.exactVersion = g.version
+		g.exactValid = true
+	}
+	return g.exact
+}
+
+// sig128 is one 128-bit running signature: two 64-bit FNV-1a lanes seeded
+// differently and fed identical bytes. Not cryptographic — a fingerprint
+// with enough width that independent contents never collide in practice.
+type sig128 struct{ a, b uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashSeed perturbs both lane seeds with per-process entropy. ContentHash
+// values are only ever compared within one process (the intern store and
+// the invocation cache live and die with it), so nothing needs the hash to
+// be stable across runs — and an unpredictable seed means a client cannot
+// offline-craft two different payloads that collide and poison the shared
+// caches of other sessions.
+var hashSeed = func() [2]uint64 {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a fixed seed
+		// would silently weaken the collision story, so fail loudly.
+		panic(fmt.Sprintf("graph: content-hash seed entropy: %v", err))
+	}
+	return [2]uint64{
+		binary.LittleEndian.Uint64(b[:8]),
+		binary.LittleEndian.Uint64(b[8:]),
+	}
+}()
+
+func newSig() sig128 { return sig128{fnvOffset64 ^ hashSeed[0], fnvOffset64 ^ hashSeed[1]} }
+
+func (s *sig128) writeByte(c byte) {
+	s.a = (s.a ^ uint64(c)) * fnvPrime64
+	s.b = (s.b ^ uint64(c)) * fnvPrime64
+}
+
+func (s *sig128) writeUint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		s.writeByte(byte(v >> (8 * i)))
+	}
+}
+
+// writeString length-prefixes the bytes so concatenated fields can never
+// alias each other ("ab"+"c" vs "a"+"bc").
+func (s *sig128) writeString(v string) {
+	s.writeUint64(uint64(len(v)))
+	for i := 0; i < len(v); i++ {
+		s.writeByte(v[i])
+	}
+}
+
+func (s *sig128) writeSig(o sig128) {
+	s.writeUint64(o.a)
+	s.writeUint64(o.b)
+}
+
+// less orders signatures for the sorted-multiset folds.
+func (s sig128) less(o sig128) bool {
+	if s.a != o.a {
+		return s.a < o.a
+	}
+	return s.b < o.b
+}
+
+// wlRounds is how many neighborhood-refinement sweeps the hash runs. Two
+// rounds fold every node's 2-hop structure in — enough to separate graphs
+// with equal label and edge multisets but different wiring, while keeping
+// the hash O(rounds · (V log V + E log d)).
+const wlRounds = 2
+
+// nodeSig hashes one node's intrinsic content: label plus sorted attrs.
+func nodeSig(n *Node, keys []string) sig128 {
+	s := newSig()
+	s.writeString(n.Label)
+	keys = keys[:0]
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.writeUint64(uint64(len(keys)))
+	for _, k := range keys {
+		s.writeString(k)
+		s.writeString(n.Attrs[k])
+	}
+	return s
+}
+
+// edgeContrib hashes one incident edge as seen from a node: a direction
+// flag (0 undirected, 1 outgoing, 2 incoming), the far endpoint's current
+// signature, and the edge's label and weight.
+func edgeContrib(dir byte, far sig128, label string, weight float64) sig128 {
+	s := newSig()
+	s.writeByte(dir)
+	s.writeSig(far)
+	s.writeString(label)
+	s.writeUint64(weightBits(weight))
+	return s
+}
+
+// weightBits canonicalizes the float so 0.0 and -0.0 (which the JSON wire
+// format conflates) hash equal.
+func weightBits(w float64) uint64 {
+	if w == 0 {
+		w = 0
+	}
+	return math.Float64bits(w)
+}
+
+func computeContentHash(g *Graph) ContentHash {
+	n := len(g.nodes)
+	sigs := make([]sig128, n)
+	keyScratch := make([]string, 0, 8)
+	for i := range g.nodes {
+		sigs[i] = nodeSig(&g.nodes[i], keyScratch)
+	}
+
+	// Neighborhood refinement: fold each node's sorted incident-edge
+	// contributions into its signature, wlRounds times.
+	next := make([]sig128, n)
+	var contribs []sig128
+	for round := 0; round < wlRounds; round++ {
+		for u := 0; u < n; u++ {
+			contribs = contribs[:0]
+			for _, ei := range g.adj[u] {
+				e := &g.edges[ei]
+				if g.directed {
+					contribs = append(contribs, edgeContrib(1, sigs[e.To], e.Label, e.Weight))
+				} else {
+					far := e.To
+					if int(e.To) == u {
+						far = e.From
+					}
+					contribs = append(contribs, edgeContrib(0, sigs[far], e.Label, e.Weight))
+				}
+			}
+			if g.directed {
+				for _, ei := range g.radj[u] {
+					e := &g.edges[ei]
+					contribs = append(contribs, edgeContrib(2, sigs[e.From], e.Label, e.Weight))
+				}
+			}
+			sortSigs(contribs)
+			s := newSig()
+			s.writeSig(sigs[u])
+			s.writeUint64(uint64(len(contribs)))
+			for _, c := range contribs {
+				s.writeSig(c)
+			}
+			next[u] = s
+		}
+		sigs, next = next, sigs
+	}
+
+	// Edge signatures over the refined endpoint signatures; undirected
+	// endpoints are normalized so (u,v) and (v,u) insertions agree.
+	edgeSigs := make([]sig128, len(g.edges))
+	for i := range g.edges {
+		e := &g.edges[i]
+		from, to := sigs[e.From], sigs[e.To]
+		if !g.directed && to.less(from) {
+			from, to = to, from
+		}
+		s := newSig()
+		s.writeSig(from)
+		s.writeSig(to)
+		s.writeString(e.Label)
+		s.writeUint64(weightBits(e.Weight))
+		edgeSigs[i] = s
+	}
+	sortSigs(edgeSigs)
+	nodeSorted := sigs
+	sortSigs(nodeSorted)
+
+	final := newSig()
+	final.writeString("chatgraph.contenthash/1")
+	if g.directed {
+		final.writeByte(1)
+	} else {
+		final.writeByte(0)
+	}
+	final.writeString(g.Name)
+	final.writeUint64(uint64(n))
+	final.writeUint64(uint64(len(g.edges)))
+	for _, s := range nodeSorted {
+		final.writeSig(s)
+	}
+	for _, s := range edgeSigs {
+		final.writeSig(s)
+	}
+
+	var out ContentHash
+	for i := 0; i < 8; i++ {
+		out[i] = byte(final.a >> (8 * i))
+		out[8+i] = byte(final.b >> (8 * i))
+	}
+	return out
+}
+
+// sigSlice implements sort.Interface directly, mirroring csr.go's rowSorter:
+// the per-row sorts run once per node per refinement round, and sort.Slice's
+// per-call closure allocations would dominate the hash cost.
+type sigSlice []sig128
+
+func (s sigSlice) Len() int           { return len(s) }
+func (s sigSlice) Less(i, j int) bool { return s[i].less(s[j]) }
+func (s sigSlice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// computeExactHash walks the representation in index order: every field an
+// API can observe, at the position it observes it. Attribute maps are the
+// one sorted piece — map iteration order is not observable.
+func computeExactHash(g *Graph) ExactHash {
+	s := newSig()
+	s.writeString("chatgraph.exacthash/1")
+	if g.directed {
+		s.writeByte(1)
+	} else {
+		s.writeByte(0)
+	}
+	s.writeString(g.Name)
+	s.writeUint64(uint64(len(g.nodes)))
+	keys := make([]string, 0, 8)
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		s.writeString(n.Label)
+		keys = keys[:0]
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s.writeUint64(uint64(len(keys)))
+		for _, k := range keys {
+			s.writeString(k)
+			s.writeString(n.Attrs[k])
+		}
+	}
+	s.writeUint64(uint64(len(g.edges)))
+	for i := range g.edges {
+		e := &g.edges[i]
+		s.writeUint64(uint64(e.From))
+		s.writeUint64(uint64(e.To))
+		s.writeString(e.Label)
+		s.writeUint64(weightBits(e.Weight))
+	}
+	var out ExactHash
+	for i := 0; i < 8; i++ {
+		out[i] = byte(s.a >> (8 * i))
+		out[8+i] = byte(s.b >> (8 * i))
+	}
+	return out
+}
+
+func sortSigs(s []sig128) {
+	if len(s) <= 24 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j].less(s[j-1]); j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return
+	}
+	sort.Sort(sigSlice(s))
+}

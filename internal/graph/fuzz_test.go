@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedCorpus seeds both fuzz targets with the wire forms of the
+// fixture generators (one per demonstration scenario) plus handwritten
+// payloads covering sparse IDs, attrs, parallel edges, weights, and a few
+// malformed bodies the parser must reject cleanly.
+func fuzzSeedCorpus(f *testing.F) {
+	f.Helper()
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range []*Graph{
+		PlantedCommunities(2, 4, 0.8, 0.2, rng),
+		Molecule(9, rng),
+		KnowledgeGraph(6, 10, rng),
+		BarabasiAlbert(8, 2, rng),
+		New(),
+	} {
+		data, err := json.Marshal(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		`{}`,
+		`{"nodes":null,"edges":null}`,
+		`{"nodes":[{"id":5,"label":"a","attrs":{"k":"v","k2":"w"}},{"id":9}],"edges":[{"from":5,"to":9,"weight":2.5,"label":"rel"}]}`,
+		`{"name":"g","directed":true,"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1},{"from":0,"to":1,"label":"x"},{"from":1,"to":0,"weight":-3}]}`,
+		`{"nodes":[{"id":0},{"id":0}],"edges":[]}`,
+		`{"nodes":[{"id":0}],"edges":[{"from":0,"to":7}]}`,
+		`{"nodes":[{"id":1}],"edges":[{"from":1,"to":1}]}`,
+		`not json`,
+	} {
+		f.Add([]byte(s))
+	}
+}
+
+// graphsEquivalent compares two graphs field by field (nil and empty attr
+// maps are the same thing on the wire).
+func graphsEquivalent(a, b *Graph) error {
+	if a.Name != b.Name {
+		return fmt.Errorf("name %q != %q", a.Name, b.Name)
+	}
+	if a.Directed() != b.Directed() {
+		return fmt.Errorf("directed %v != %v", a.Directed(), b.Directed())
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return fmt.Errorf("size (%d,%d) != (%d,%d)", a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(NodeID(i)), b.Node(NodeID(i))
+		if na.Label != nb.Label {
+			return fmt.Errorf("node %d label %q != %q", i, na.Label, nb.Label)
+		}
+		if len(na.Attrs) != len(nb.Attrs) || (len(na.Attrs) > 0 && !reflect.DeepEqual(na.Attrs, nb.Attrs)) {
+			return fmt.Errorf("node %d attrs %v != %v", i, na.Attrs, nb.Attrs)
+		}
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return fmt.Errorf("edge %d %+v != %+v", i, ea[i], eb[i])
+		}
+	}
+	return nil
+}
+
+// FuzzParseJSON: for any input the parser accepts, parse → serialize →
+// reparse must never panic, must re-accept its own output, must reproduce
+// the graph exactly, and must serialize stably.
+func FuzzParseJSON(f *testing.F) {
+	fuzzSeedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseJSON(data)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("serialize parsed graph: %v", err)
+		}
+		g2, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("reparse of own serialization failed: %v\nserialized: %s", err, out)
+		}
+		if err := graphsEquivalent(g, g2); err != nil {
+			t.Fatalf("round trip changed the graph: %v\ninput: %s\nserialized: %s", err, data, out)
+		}
+		out2, err := json.Marshal(g2)
+		if err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("serialization unstable:\n%s\n%s", out, out2)
+		}
+	})
+}
+
+// FuzzContentHash: a graph and its serialization round trip must agree on
+// identity — the property the interning layer and the content-keyed
+// invocation cache stand on.
+func FuzzContentHash(f *testing.F) {
+	fuzzSeedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		h := g.ContentHash()
+		if h != g.ContentHash() {
+			t.Fatal("ContentHash not deterministic on one instance")
+		}
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		g2, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("reparse: %v\nserialized: %s", err, out)
+		}
+		if g2.ContentHash() != h {
+			t.Fatalf("hash of round trip %s != %s\ninput: %s\nserialized: %s", g2.ContentHash(), h, data, out)
+		}
+		// Serialization preserves index order, so the exact hash — the
+		// equality witness the intern store keys on — must survive too.
+		if g2.ExactHash() != g.ExactHash() {
+			t.Fatalf("exact hash of round trip diverged\ninput: %s\nserialized: %s", data, out)
+		}
+		if g2.Version() != g.Version() {
+			t.Fatalf("round-trip versions diverge: %d != %d (the invoke-cache key needs parse determinism)", g2.Version(), g.Version())
+		}
+	})
+}

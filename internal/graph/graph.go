@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within one graph. IDs are dense non-negative
@@ -55,10 +56,32 @@ type Graph struct {
 	// version counts mutations; Freeze and the executor's invocation cache
 	// key on it, so any structural or label change invalidates both.
 	version uint64
-	// frozenMu guards frozen, the cached CSR for the current version.
+	// frozenMu guards frozen (the cached CSR) and the cached content hash,
+	// both memoized for the current version.
 	frozenMu sync.Mutex
 	frozen   *CSR
+	// Cached ContentHash/ExactHash for their versions; the valid flags
+	// distinguish "never computed" from "version 0 computed".
+	hash         ContentHash
+	hashVersion  uint64
+	hashValid    bool
+	exact        ExactHash
+	exactVersion uint64
+	exactValid   bool
+	// shared marks a graph interned by graphstore and visible to any number
+	// of concurrent readers. Shared graphs must never mutate: the executor
+	// clones them before running a mutating chain, and race-enabled builds
+	// panic on any mutation that slips through.
+	shared atomic.Bool
 }
+
+// MarkShared flags g as an interned, multi-reader graph. There is no way
+// back: once shared, the instance must stay immutable for its lifetime.
+func (g *Graph) MarkShared() { g.shared.Store(true) }
+
+// Shared reports whether g is an interned graph shared across sessions.
+// Writers (the executor, graph-editing callers) must clone before mutating.
+func (g *Graph) Shared() bool { return g.shared.Load() }
 
 // Version returns the mutation counter: it changes whenever the graph's
 // nodes, edges, labels, or attributes change, so equal versions on the same
@@ -66,8 +89,16 @@ type Graph struct {
 func (g *Graph) Version() uint64 { return g.version }
 
 // bump records a mutation, invalidating any frozen view or cached result
-// keyed on the previous version.
-func (g *Graph) bump() { g.version++ }
+// keyed on the previous version. Race-enabled builds turn a mutation of a
+// shared interned graph into a panic — the bug it catches (an API missing
+// its Mutates flag, or a caller skipping the clone) corrupts every session
+// holding the graph, so tests should fail loudly, not flake.
+func (g *Graph) bump() {
+	if raceEnabled && g.shared.Load() {
+		panic("graph: mutation of a shared interned graph (clone it, or mark the API Mutates)")
+	}
+	g.version++
+}
 
 // Grow preallocates capacity for nodes additional nodes and edges additional
 // edges, so bulk constructions (complement, union, JSON decode) append
@@ -318,7 +349,10 @@ func (g *Graph) TotalDegree(u NodeID) int {
 	return len(g.adj[u]) + len(g.radj[u])
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The copy is private: it is never marked
+// shared (even when g is an interned graph), and its content hash is
+// recomputed lazily rather than copied, so cloning a shared graph races
+// with nothing.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{Name: g.Name, directed: g.directed, version: g.version}
 	c.nodes = make([]Node, len(g.nodes))

@@ -1,0 +1,231 @@
+// Package graphstore interns uploaded graphs by content hash, so identical
+// payloads arriving in different requests, sessions, or conversations
+// resolve to one shared *graph.Graph instance — one frozen CSR, one stats
+// memo, one pool of content-keyed invocation-cache entries — instead of N
+// private copies that never share anything.
+//
+// The store is the serving layer's answer to the E12c finding: a loadgen
+// workload that re-uploads the same graph on every chat request scored zero
+// invocation-cache hits, because cache identity was the graph pointer and
+// every upload parsed to a fresh pointer. Content identity
+// (graph.ContentHash) makes the dedup possible; the store makes it cheap —
+// one hash plus one mutex hop per upload.
+//
+// Interned graphs are marked Shared and must never mutate. The executor
+// honors that contract by cloning a shared graph before running any chain
+// that contains a mutating API; race-enabled builds panic if a mutation
+// slips through anyway.
+package graphstore
+
+import (
+	"container/list"
+	"sync"
+
+	"chatgraph/internal/graph"
+	"chatgraph/internal/metrics"
+)
+
+// Process-wide intern instruments, aggregated across every Store (the
+// per-instance accessors stay for tests and introspection).
+var (
+	mHits = metrics.Default().Counter("chatgraph_graphstore_hits_total",
+		"Uploads deduplicated onto an already-interned graph.", nil)
+	mMisses = metrics.Default().Counter("chatgraph_graphstore_misses_total",
+		"Uploads interned as new graphs.", nil)
+	mEvictions = metrics.Default().Counter("chatgraph_graphstore_evictions_total",
+		"Interned graphs evicted for capacity.", nil)
+)
+
+// DefaultCapacity bounds the store an Engine installs when the caller does
+// not say otherwise. Entries are whole graphs, so the bound is deliberately
+// modest; the LRU keeps whatever the traffic actually re-uploads.
+const DefaultCapacity = 1024
+
+// DefaultMaxBytes bounds the store's estimated retained graph memory. The
+// entry count alone is not a memory bound — the chat endpoint accepts
+// multi-megabyte graph bodies, so capacity × max-body would let varied
+// traffic pin gigabytes. Whichever bound trips first evicts.
+const DefaultMaxBytes = 256 << 20
+
+// Store is a bounded, concurrency-safe LRU of interned graphs keyed by
+// content identity, limited by both entry count and estimated retained
+// bytes. Intern is the only write path; everything it returns is shared
+// and read-only by contract.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	maxBytes int64
+	ll       *list.List // most-recent first; values are *entry
+	entries  map[storeKey]*list.Element
+	bytes    int64 // estimated retained bytes across entries
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// storeKey pairs the canonical content hash with the index-order exact
+// hash. The canonical hash is the identity the layer is named for; the
+// exact hash is the equality witness that keeps a canonical-hash
+// coincidence (WL-equivalent non-isomorphic graphs, permuted insertion
+// orders — both observably different through node-ID-based APIs) from
+// aliasing two uploads onto one instance. Non-identical uploads that
+// merely share a canonical hash intern separately — they do not dedupe,
+// which is the correct outcome, not a missed one.
+type storeKey struct {
+	content graph.ContentHash
+	exact   graph.ExactHash
+}
+
+type entry struct {
+	key   storeKey
+	g     *graph.Graph
+	bytes int64
+}
+
+// New returns a store holding at most capacity interned graphs
+// (capacity <= 0 gets DefaultCapacity) within DefaultMaxBytes of estimated
+// graph memory. The store's size is exported as the
+// chatgraph_graphstore_size / chatgraph_graphstore_bytes gauges; with
+// several stores in one process (tests), the most recently constructed one
+// wins the gauges.
+func New(capacity int) *Store {
+	return NewSized(capacity, 0)
+}
+
+// NewSized is New with an explicit byte budget (maxBytes <= 0 gets
+// DefaultMaxBytes).
+func NewSized(capacity int, maxBytes int64) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	s := &Store{
+		capacity: capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[storeKey]*list.Element, capacity),
+	}
+	metrics.Default().GaugeFunc("chatgraph_graphstore_size",
+		"Graphs currently interned.", nil,
+		func() float64 { return float64(s.Len()) })
+	metrics.Default().GaugeFunc("chatgraph_graphstore_bytes",
+		"Estimated bytes retained by interned graphs.", nil,
+		func() float64 { return float64(s.Bytes()) })
+	return s
+}
+
+// approxBytes estimates what keeping g resident costs: node and edge
+// records, label/attr strings, adjacency indexes, and the frozen CSR the
+// shared instance will inevitably carry (~3 index arrays per edge
+// direction). An estimate is enough — the budget exists to stop unbounded
+// growth, not to account precisely.
+func approxBytes(g *graph.Graph) int64 {
+	n, m := int64(g.NumNodes()), int64(g.NumEdges())
+	b := n*64 + m*96
+	for _, nd := range g.Nodes() {
+		b += int64(len(nd.Label))
+		for k, v := range nd.Attrs {
+			b += int64(len(k)+len(v)) + 32
+		}
+	}
+	for i := range g.Edges() {
+		b += int64(len(g.Edges()[i].Label))
+	}
+	return b
+}
+
+// Intern resolves g to the canonical shared instance for its content: the
+// first graph interned with this content hash wins and is returned for
+// every subsequent upload of equal content; g itself is returned (and
+// becomes the canonical instance) on first sight. The returned graph is
+// marked Shared — callers must treat it as immutable and clone before any
+// mutation. A nil store or nil graph passes through untouched.
+func (s *Store) Intern(g *graph.Graph) *graph.Graph {
+	if s == nil || g == nil {
+		return g
+	}
+	k := storeKey{content: g.ContentHash(), exact: g.ExactHash()}
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
+		shared := el.Value.(*entry).g
+		s.mu.Unlock()
+		mHits.Inc()
+		return shared
+	}
+	g.MarkShared()
+	e := &entry{key: k, g: g, bytes: approxBytes(g)}
+	s.entries[k] = s.ll.PushFront(e)
+	s.bytes += e.bytes
+	// Evict from the cold end until both bounds hold again, always keeping
+	// the entry just inserted (an oversized upload is still shared with
+	// concurrent identical uploads until the next insert ages it out).
+	for s.ll.Len() > 1 && (s.ll.Len() > s.capacity || s.bytes > s.maxBytes) {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		old := oldest.Value.(*entry)
+		delete(s.entries, old.key)
+		s.bytes -= old.bytes
+		s.evictions++
+		mEvictions.Inc()
+	}
+	s.misses++
+	s.mu.Unlock()
+	mMisses.Inc()
+	return g
+}
+
+// Bytes reports the estimated bytes retained by interned graphs.
+func (s *Store) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Lookup returns an interned graph with the given canonical content hash
+// (scanning in recency order), without promoting it in the LRU or touching
+// counters — introspection, not the hot path.
+func (s *Store) Lookup(h graph.ContentHash) (*graph.Graph, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*entry); e.key.content == h {
+			return e.g, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports the number of interned graphs.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Counters returns the lifetime intern hit and miss counts.
+func (s *Store) Counters() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Evictions returns the lifetime capacity-eviction count.
+func (s *Store) Evictions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}

@@ -53,6 +53,10 @@ type Options struct {
 	// RequestTimeout bounds one gated request's lifetime via a context
 	// deadline; expired chats answer 504. 0 disables the deadline.
 	RequestTimeout time.Duration
+	// DisableGraphIntern bypasses the engine's graph store, so every upload
+	// keeps its private *graph.Graph (pre-interning behavior). Parity tests
+	// use it; production servers should leave interning on.
+	DisableGraphIntern bool
 }
 
 // Server routes HTTP traffic onto a shared core.Engine. Conversation state
@@ -239,7 +243,7 @@ func (s *Server) handleSessionChat(w http.ResponseWriter, r *http.Request) {
 	if !s.rateLimit(w, r, m) {
 		return
 	}
-	q, g, ok := decodeChat(w, r)
+	q, g, ok := s.decodeChat(w, r)
 	if !ok {
 		return
 	}
@@ -399,8 +403,13 @@ type ChatResponse struct {
 }
 
 // decodeChat parses and validates a chat body, writing the error response
-// itself when ok is false.
-func decodeChat(w http.ResponseWriter, r *http.Request) (question string, g *graph.Graph, ok bool) {
+// itself when ok is false. Uploaded graphs are interned through the
+// engine's graph store: a payload whose content was seen before — in this
+// session, another session, or a deleted one — resolves to the one shared
+// instance, so the CSR, stats memo, and invoke-cache entries built for it
+// are reused instead of rebuilt. Chains that edit the graph get a private
+// clone inside the executor, so sharing is invisible to callers.
+func (s *Server) decodeChat(w http.ResponseWriter, r *http.Request) (question string, g *graph.Graph, ok bool) {
 	var req ChatRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
 		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
@@ -416,6 +425,9 @@ func decodeChat(w http.ResponseWriter, r *http.Request) (question string, g *gra
 		if err != nil {
 			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad graph: %v", err))
 			return "", nil, false
+		}
+		if !s.opts.DisableGraphIntern {
+			g = s.eng.Graphs().Intern(g)
 		}
 	}
 	return req.Question, g, true
@@ -451,7 +463,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	q, g, ok := decodeChat(w, r)
+	q, g, ok := s.decodeChat(w, r)
 	if !ok {
 		return
 	}
