@@ -5,9 +5,13 @@
 //
 // v1 endpoints: POST /v1/sessions, POST /v1/sessions/{id}/chat (add
 // ?stream=1 for NDJSON progress), GET /v1/sessions/{id}/history,
-// DELETE /v1/sessions/{id}. Legacy endpoints: POST /chat, GET /apis,
-// GET /suggest, GET /config, GET /healthz. Observability: GET /metrics
-// (Prometheus text format). Overload policy: -max-inflight sheds with 429,
+// DELETE /v1/sessions/{id}. Async jobs: POST /v1/jobs runs a chat or a
+// pinned chain outside the request deadline, GET /v1/jobs/{id} polls it
+// (?stream=1 tails NDJSON progress), DELETE /v1/jobs/{id} cancels; the pool
+// is sized by -job-workers/-job-queue and finished jobs are retained for
+// -job-retention. Legacy endpoints: POST /chat, GET /apis, GET /suggest,
+// GET /config, GET /healthz. Observability: GET /metrics (Prometheus text
+// format). Overload policy: -max-inflight sheds with 429,
 // -session-rate/-session-burst rate-limit each session's chats, and
 // -request-timeout bounds one request's lifetime.
 //
@@ -33,6 +37,7 @@ import (
 	"chatgraph/internal/apis"
 	"chatgraph/internal/config"
 	"chatgraph/internal/core"
+	"chatgraph/internal/jobs"
 	"chatgraph/internal/llm"
 	"chatgraph/internal/server"
 )
@@ -53,6 +58,9 @@ func main() {
 		sessionRate  = flag.Float64("session-rate", 0, "per-session chat rate limit in requests/sec (0 = unlimited)")
 		sessionBurst = flag.Int("session-burst", 0, "per-session rate-limit burst (0 = one second's worth)")
 		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-request context deadline on chat/retrieve; expired chats answer 504 (0 = none)")
+		jobWorkers   = flag.Int("job-workers", jobs.DefaultWorkers, "async job pool size; each worker runs one /v1/jobs chain at a time")
+		jobQueue     = flag.Int("job-queue", jobs.DefaultQueueDepth, "async job queue depth; submissions beyond it shed with 429")
+		jobRetention = flag.Duration("job-retention", jobs.DefaultRetention, "how long finished jobs stay pollable before eviction")
 		writeTimeout = flag.Duration("write-timeout", 0, "http.Server write timeout; must exceed -request-timeout when set (0 = none, required for long NDJSON streams)")
 		readHeader   = flag.Duration("read-header-timeout", 10*time.Second, "http.Server read-header timeout")
 	)
@@ -92,6 +100,9 @@ func main() {
 		SessionRate:    *sessionRate,
 		SessionBurst:   *sessionBurst,
 		RequestTimeout: *reqTimeout,
+		JobWorkers:     *jobWorkers,
+		JobQueue:       *jobQueue,
+		JobRetention:   *jobRetention,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -100,8 +111,8 @@ func main() {
 		WriteTimeout:      *writeTimeout,
 	}
 
-	// Sweep expired sessions in the background so idle daemons release
-	// memory without waiting for traffic.
+	// Sweep expired sessions and finished jobs in the background so idle
+	// daemons release memory without waiting for traffic.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -116,14 +127,17 @@ func main() {
 				if n := srv.Sessions().Sweep(); n > 0 {
 					log.Printf("expired %d idle sessions (%d live)", n, srv.Sessions().Len())
 				}
+				if n := srv.Jobs().Sweep(); n > 0 {
+					log.Printf("evicted %d finished jobs (%d retained)", n, srv.Jobs().Len())
+				}
 			}
 		}
 	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("chatgraphd listening on %s (%d APIs registered, session ttl %s, max %d sessions, max-inflight %d, request timeout %s)",
-		*addr, reg.Len(), *sessionTTL, *maxSessions, *maxInFlight, *reqTimeout)
+	log.Printf("chatgraphd listening on %s (%d APIs registered, session ttl %s, max %d sessions, max-inflight %d, request timeout %s, %d job workers, job queue %d)",
+		*addr, reg.Len(), *sessionTTL, *maxSessions, *maxInFlight, *reqTimeout, *jobWorkers, *jobQueue)
 
 	select {
 	case err := <-errc:
@@ -135,6 +149,9 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("chatgraphd: shutdown: %v", err)
 		}
+		// With HTTP drained, stop the job pool: queued jobs cancel, running
+		// ones get their contexts cut, and Close waits for the workers.
+		srv.Close()
 		log.Println("chatgraphd stopped")
 	}
 }

@@ -14,8 +14,12 @@
 //
 // The operation mix interleaves chat (POST /v1/sessions/{id}/chat, session
 // pool round-robin) and batched retrieval (POST /v1/retrieve) per
-// -chat-frac. 429 responses count as shed, not errors — shedding is the
-// admission policy working as designed; any other non-2xx is an error.
+// -chat-frac. With -jobs-mix > 0 that fraction of operations instead goes
+// through the async path: POST /v1/jobs, then poll GET /v1/jobs/{id} until
+// the job settles — the recorded latency is submit-to-terminal, so the job
+// row's percentiles are completion latencies, not request latencies. 429
+// responses count as shed, not errors — shedding is the admission policy
+// working as designed; any other non-2xx is an error.
 // After the run, /healthz and /metrics are probed so the smoke job fails
 // when observability breaks. -strict exits non-zero on any error or failed
 // probe.
@@ -70,6 +74,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		seed        = flag.Int64("seed", 7, "workload RNG seed (graph shape, op mix)")
 		reupload    = flag.Bool("reupload", true, "send the graph JSON with every chat request (the stateless-client workload); false sends question-only chats")
+		jobsMix     = flag.Float64("jobs-mix", 0, "fraction of operations submitted as async jobs (POST /v1/jobs, polled to completion)")
+		jobsProbe   = flag.Int("jobs-probe", 0, "after the run, burst this many job submissions without polling to measure queue-full shedding (accepted ones are cancelled)")
 		jsonPath    = flag.String("json", "", "write the machine-readable report (BENCH_serving.json schema) to this file")
 		strict      = flag.Bool("strict", false, "exit 1 on any transport/status error or failed healthz//metrics probe")
 	)
@@ -79,6 +85,9 @@ func main() {
 	}
 	if *chatFrac < 0 || *chatFrac > 1 {
 		log.Fatalf("loadgen: -chat-frac must be in [0,1], got %g", *chatFrac)
+	}
+	if *jobsMix < 0 || *jobsMix > 1 {
+		log.Fatalf("loadgen: -jobs-mix must be in [0,1], got %g", *jobsMix)
 	}
 	if *sessions <= 0 {
 		*sessions = *concurrency
@@ -104,6 +113,15 @@ func main() {
 	chatBody, err := json.Marshal(chatPayload)
 	if err != nil {
 		log.Fatalf("loadgen: marshal chat body: %v", err)
+	}
+	// Jobs always carry the graph: the async path exists for graph-heavy
+	// chains, and reuploading exercises the intern layer under job traffic.
+	jobBody, err := json.Marshal(map[string]any{
+		"question": "Write a brief report for G",
+		"graph":    json.RawMessage(graphJSON),
+	})
+	if err != nil {
+		log.Fatalf("loadgen: marshal job body: %v", err)
 	}
 	retrieveQueries := []string{
 		"detect communities in the network",
@@ -135,12 +153,17 @@ func main() {
 
 	run := newRunStats()
 	doOp := func(w *rand.Rand, worker int) {
+		start := time.Now()
+		if *jobsMix > 0 && w.Float64() < *jobsMix {
+			status, outcome, err := runJob(client, base, jobBody, *timeout)
+			run.recordJob(status, outcome, err, time.Since(start))
+			return
+		}
 		var (
 			op     string
 			status int
 			err    error
 		)
-		start := time.Now()
 		if w.Float64() < *chatFrac {
 			op = "chat"
 			sid := pool[worker%len(pool)]
@@ -152,8 +175,8 @@ func main() {
 		run.record(op, status, err, time.Since(start))
 	}
 
-	log.Printf("loadgen: %s loop against %s for %s (concurrency %d, sessions %d, chat-frac %.2f)",
-		*mode, base, *duration, *concurrency, len(pool), *chatFrac)
+	log.Printf("loadgen: %s loop against %s for %s (concurrency %d, sessions %d, chat-frac %.2f, jobs-mix %.2f)",
+		*mode, base, *duration, *concurrency, len(pool), *chatFrac, *jobsMix)
 	wallStart := time.Now()
 	deadline := wallStart.Add(*duration)
 	if *mode == "closed" {
@@ -212,6 +235,15 @@ func main() {
 	report := run.report(*mode, base, elapsed, *concurrency, *rate, *chatFrac, len(pool), healthzOK, metricsOK)
 	report.Reupload = *reupload
 	report.Cache = cacheDelta(cacheBefore, cacheAfter)
+	report.JobsMix = *jobsMix
+	if *jobsMix > 0 || *jobsProbe > 0 {
+		jr := run.jobsReport()
+		if *jobsProbe > 0 {
+			jr.ProbeSubmitted = *jobsProbe
+			jr.ProbeAccepted, jr.Probe429 = jobProbe(client, base, *seed, *jobsProbe)
+		}
+		report.Jobs = &jr
+	}
 	report.print(os.Stdout)
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -232,6 +264,9 @@ func main() {
 		}
 		if report.Total.OK == 0 {
 			log.Fatal("loadgen: strict: no successful requests")
+		}
+		if j := report.Jobs; j != nil && j.Stuck > 0 {
+			log.Fatalf("loadgen: strict: %d jobs stuck (never reached a terminal state)", j.Stuck)
 		}
 	}
 }
@@ -266,6 +301,133 @@ func post(client *http.Client, url string, body []byte) (status int, err error) 
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
 	return resp.StatusCode, nil
+}
+
+// jobInfo is the slice of the /v1/jobs wire schema loadgen needs.
+type jobInfo struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+}
+
+// terminalJobState reports whether a wire state string is terminal.
+func terminalJobState(s string) bool {
+	return s == "done" || s == "failed" || s == "cancelled"
+}
+
+// runJob submits one async job and polls it to a terminal state. status is
+// the submission status (for shed/error accounting); outcome is the job's
+// terminal state, or "stuck" if it never settled within timeout.
+func runJob(client *http.Client, base string, body []byte, timeout time.Duration) (status int, outcome string, err error) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	var info jobInfo
+	decErr := json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return resp.StatusCode, "", nil
+	}
+	if decErr != nil || info.JobID == "" {
+		return resp.StatusCode, "", fmt.Errorf("job accepted but reply unreadable: %v", decErr)
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := getJobState(client, base, info.JobID)
+		if err != nil {
+			return resp.StatusCode, "", err
+		}
+		if terminalJobState(st) {
+			return resp.StatusCode, st, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return resp.StatusCode, "stuck", nil
+}
+
+func getJobState(client *http.Client, base, id string) (string, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("poll job %s: status %d: %s", id, resp.StatusCode, body)
+	}
+	var info jobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", err
+	}
+	return info.State, nil
+}
+
+// jobProbe bursts n concurrent job submissions without polling — pure
+// admission behavior: how many the queue takes before shedding with 429.
+// Every submission carries a unique, larger graph so its chain misses the
+// invoke cache and holds a worker for real work — a sequential burst of
+// cache-warm jobs drains as fast as it fills and never observes the queue
+// bound. Accepted jobs are cancelled afterwards so the probe leaves no
+// stragglers running.
+func jobProbe(client *http.Client, base string, seed int64, n int) (accepted, shed429 int) {
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		prng := rand.New(rand.NewSource(seed + 104729*int64(i+1)))
+		pg := graph.PlantedCommunities(4, 100, 0.3, 0.02, prng)
+		gj, err := json.Marshal(pg)
+		if err != nil {
+			log.Fatalf("loadgen: marshal probe graph: %v", err)
+		}
+		bodies[i], err = json.Marshal(map[string]any{
+			"question": "Write a brief report for G",
+			"graph":    json.RawMessage(gj),
+		})
+		if err != nil {
+			log.Fatalf("loadgen: marshal probe body: %v", err)
+		}
+	}
+	var (
+		mu  sync.Mutex
+		ids []string
+		wg  sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			var info jobInfo
+			json.NewDecoder(resp.Body).Decode(&info) //nolint:errcheck // error bodies aren't jobInfo
+			io.Copy(io.Discard, resp.Body)           //nolint:errcheck
+			resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case resp.StatusCode == http.StatusAccepted:
+				accepted++
+				if info.JobID != "" {
+					ids = append(ids, info.JobID)
+				}
+			case resp.StatusCode == http.StatusTooManyRequests:
+				shed429++
+			}
+		}(bodies[i])
+	}
+	wg.Wait()
+	for _, id := range ids {
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+	}
+	return accepted, shed429
 }
 
 // cacheCounters are the raw /metrics samples the report's cache block is
@@ -370,6 +532,7 @@ type runStats struct {
 	mu    sync.Mutex
 	ops   map[string]*opStats
 	drops int
+	jobs  JobsReport
 }
 
 func newRunStats() *runStats {
@@ -383,6 +546,10 @@ func (r *runStats) record(op string, status int, err error, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.ops[op]
+	if s == nil {
+		s = &opStats{}
+		r.ops[op] = s
+	}
 	s.requests++
 	switch {
 	case err != nil:
@@ -401,6 +568,54 @@ func (r *runStats) drop() {
 	r.mu.Lock()
 	r.drops++
 	r.mu.Unlock()
+}
+
+// recordJob accounts one async job operation. A completed job is the op's
+// success sample — its latency is submit-to-done, so the "job" row's
+// percentiles read as completion latency. A job that fails, is cancelled,
+// or never settles counts as an error on the op and is broken out in the
+// jobs block.
+func (r *runStats) recordJob(status int, outcome string, err error, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.ops["job"]
+	if s == nil {
+		s = &opStats{}
+		r.ops["job"] = s
+	}
+	s.requests++
+	switch {
+	case err != nil:
+		s.errors++
+	case status == http.StatusTooManyRequests:
+		s.shed++
+		r.jobs.Shed++
+	case status != http.StatusAccepted:
+		s.errors++
+	default:
+		r.jobs.Submitted++
+		switch outcome {
+		case "done":
+			s.ok++
+			s.latencies = append(s.latencies, d.Seconds())
+			r.jobs.Completed++
+		case "failed":
+			s.errors++
+			r.jobs.Failed++
+		case "cancelled":
+			s.errors++
+			r.jobs.Cancelled++
+		default: // stuck
+			s.errors++
+			r.jobs.Stuck++
+		}
+	}
+}
+
+func (r *runStats) jobsReport() JobsReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs
 }
 
 // LatencySummary is the latency block of one report entry, milliseconds.
@@ -434,9 +649,28 @@ type CacheReport struct {
 	InternHitRatePct float64 `json:"intern_hit_rate_pct"`
 }
 
+// JobsReport is the async-path block of the report: lifecycle outcomes of
+// the jobs the run submitted and polled (the "job" op row carries their
+// completion-latency percentiles), plus the post-run admission probe. A
+// stuck job — accepted but never terminal within the client timeout — is
+// the failure mode the CI gate watches for.
+type JobsReport struct {
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	Stuck     int `json:"stuck"`
+	Shed      int `json:"shed"`
+	// Probe fields describe the -jobs-probe burst: how many of the rapid-fire
+	// submissions the queue accepted vs shed with 429.
+	ProbeSubmitted int `json:"probe_submitted,omitempty"`
+	ProbeAccepted  int `json:"probe_accepted,omitempty"`
+	Probe429       int `json:"probe_429,omitempty"`
+}
+
 // Report is the loadgen output schema (BENCH_serving.json). Schema is
-// versioned so the perf-trajectory tooling can evolve it; the reupload and
-// cache fields are additive.
+// versioned so the perf-trajectory tooling can evolve it; the reupload,
+// cache, and jobs fields are additive.
 type Report struct {
 	Schema      string              `json:"schema"`
 	Target      string              `json:"target"`
@@ -447,12 +681,14 @@ type Report struct {
 	ChatFrac    float64             `json:"chat_fraction"`
 	Sessions    int                 `json:"sessions"`
 	Reupload    bool                `json:"reupload"`
+	JobsMix     float64             `json:"jobs_mix,omitempty"`
 	Drops       int                 `json:"open_loop_drops,omitempty"`
 	HealthzOK   bool                `json:"healthz_ok"`
 	MetricsOK   bool                `json:"metrics_ok"`
 	Total       OpReport            `json:"total"`
 	Ops         map[string]OpReport `json:"ops"`
 	Cache       *CacheReport        `json:"cache,omitempty"`
+	Jobs        *JobsReport         `json:"jobs,omitempty"`
 }
 
 func summarize(lat []float64, requests, ok, shed, errs int, elapsed time.Duration) OpReport {
@@ -558,5 +794,13 @@ func (rep Report) print(w io.Writer) {
 		fmt.Fprintf(w, "invoke cache %d hits / %d misses (%.1f%%) · graph intern %d hits / %d misses (%.1f%%) · reupload=%v\n",
 			c.InvokeHits, c.InvokeMisses, c.InvokeHitRatePct,
 			c.InternHits, c.InternMisses, c.InternHitRatePct, rep.Reupload)
+	}
+	if j := rep.Jobs; j != nil {
+		fmt.Fprintf(w, "jobs: %d submitted · %d completed · %d failed · %d cancelled · %d stuck · %d shed\n",
+			j.Submitted, j.Completed, j.Failed, j.Cancelled, j.Stuck, j.Shed)
+		if j.ProbeSubmitted > 0 {
+			fmt.Fprintf(w, "jobs probe: %d burst → %d accepted, %d shed with 429\n",
+				j.ProbeSubmitted, j.ProbeAccepted, j.Probe429)
+		}
 	}
 }

@@ -1,0 +1,181 @@
+package jobs
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"chatgraph/internal/apis"
+	"chatgraph/internal/chain"
+	"chatgraph/internal/executor"
+	"chatgraph/internal/metrics"
+)
+
+// napRegistry builds a registry with one sleeping API so executor-driven
+// jobs take long enough to be cancelled mid-chain.
+func napRegistry(t *testing.T) (*apis.Registry, *apis.Env) {
+	t.Helper()
+	env := &apis.Env{}
+	reg := apis.NewRegistry()
+	if err := reg.Register(apis.API{
+		Name:        "test.nap",
+		Description: "sleeps briefly and reports back",
+		Category:    "test",
+		Fn: func(apis.Input) (apis.Output, error) {
+			time.Sleep(time.Millisecond)
+			return apis.Output{Text: "napped"}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg, env
+}
+
+// napChain is a many-step chain of the sleeping API — long enough that a
+// cancel lands between steps with overwhelming probability.
+func napChain(steps int) chain.Chain {
+	c := make(chain.Chain, steps)
+	for i := range c {
+		c[i] = chain.Step{API: "test.nap"}
+	}
+	return c
+}
+
+// TestExecutorCancellationHammer is the -race stress for the cancellation
+// path: many goroutines submit executor-backed jobs, poll their status and
+// events, and cancel them at random points (before, during, and after
+// execution). It asserts that every job reaches a terminal state, that a
+// job cancelled mid-chain carries the executor's EventCancelled as its last
+// event, that cancelled workers are freed (a fresh job still completes),
+// and that the pool leaks no goroutines.
+func TestExecutorCancellationHammer(t *testing.T) {
+	reg, env := napRegistry(t)
+	exec := executor.New(reg, env)
+	c := napChain(40)
+
+	before := runtime.NumGoroutine()
+	m := New(Options{Workers: 4, QueueDepth: 256, Metrics: metrics.NewRegistry()})
+
+	const jobsN = 48
+	var wg sync.WaitGroup
+	results := make([]Status, jobsN)
+	for i := 0; i < jobsN; i++ {
+		j, err := m.Submit(PriorityNormal, func(ctx context.Context, emit func(executor.Event)) (any, error) {
+			res, err := exec.Run(ctx, nil, c, executor.Options{OnEvent: emit})
+			if err != nil {
+				return nil, err
+			}
+			return res.Final.Text, nil
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		// Canceller: strikes at a jittered delay so cancels land while
+		// queued, mid-chain, and after completion.
+		wg.Add(1)
+		go func(i int, j *Job) {
+			defer wg.Done()
+			delay := time.Duration(rand.Int63n(int64(25 * time.Millisecond)))
+			time.Sleep(delay)
+			m.Cancel(j.ID)
+		}(i, j)
+		// Poller: hammers the read side concurrently with events/cancels.
+		wg.Add(1)
+		go func(j *Job) {
+			defer wg.Done()
+			seen := 0
+			for {
+				evs, state, changed := j.EventsSince(seen)
+				seen += len(evs)
+				j.Status()
+				if state.Terminal() {
+					return
+				}
+				select {
+				case <-changed:
+				case <-time.After(10 * time.Second):
+					t.Errorf("poller stuck on job %s", j.ID)
+					return
+				}
+			}
+		}(j)
+		// Waiter: records the terminal status.
+		wg.Add(1)
+		go func(i int, j *Job) {
+			defer wg.Done()
+			select {
+			case <-j.Done():
+				results[i] = j.Status()
+			case <-time.After(10 * time.Second):
+				t.Errorf("job %s never finished", j.ID)
+			}
+		}(i, j)
+	}
+	wg.Wait()
+
+	cancelled := 0
+	for i, st := range results {
+		switch st.State {
+		case StateDone:
+			if st.Result != "napped" {
+				t.Fatalf("job %d done with result %v", i, st.Result)
+			}
+		case StateCancelled:
+			cancelled++
+			if st.Err == nil {
+				t.Fatalf("job %d cancelled without an error", i)
+			}
+			// A job cancelled mid-chain must end on the executor's
+			// EventCancelled; one cancelled while queued has no events.
+			evs, _, _ := j0events(results[i].ID, m)
+			if len(evs) > 0 && evs[len(evs)-1].Type != executor.EventCancelled {
+				t.Fatalf("job %d cancelled mid-chain but last event = %v", i, evs[len(evs)-1].Type)
+			}
+		default:
+			t.Fatalf("job %d landed in state %v (err %v)", i, st.State, st.Err)
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("hammer produced no cancelled jobs — cancellation path untested")
+	}
+	t.Logf("hammer: %d cancelled, %d completed", cancelled, jobsN-cancelled)
+
+	// Cancelled jobs must free their workers: a fresh job still runs.
+	fresh, err := m.Submit(PriorityHigh, func(ctx context.Context, emit func(executor.Event)) (any, error) {
+		res, err := exec.Run(ctx, nil, napChain(2), executor.Options{OnEvent: emit})
+		if err != nil {
+			return nil, err
+		}
+		return res.Final.Text, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, fresh); st.State != StateDone {
+		t.Fatalf("post-hammer job state = %v (err %v)", st.State, st.Err)
+	}
+
+	// No goroutine leaks: after Close the worker pool and every per-job
+	// helper must be gone.
+	m.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before %d, after close %d", before, runtime.NumGoroutine())
+}
+
+// j0events reads a job's events by ID, tolerating retention eviction.
+func j0events(id string, m *Manager) ([]executor.Event, State, <-chan struct{}) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, StateCancelled, nil
+	}
+	return j.EventsSince(0)
+}

@@ -1,0 +1,52 @@
+package jobs
+
+import "chatgraph/internal/metrics"
+
+// managerMetrics are the pool's pre-resolved instrument handles: everything
+// the submit/run path touches is created once here, so the hot path pays
+// atomics only, never a registry lookup. The queue-depth / busy-workers /
+// retained gauges are registered as scrape-time funcs in New — they read
+// the manager's own bookkeeping, so no extra work happens per job.
+type managerMetrics struct {
+	submitted *metrics.Counter
+	shed      *metrics.Counter
+	done      *metrics.Counter
+	failed    *metrics.Counter
+	cancelled *metrics.Counter
+	duration  *metrics.Histogram
+	queueWait *metrics.Histogram
+}
+
+func newManagerMetrics(reg *metrics.Registry) *managerMetrics {
+	outcomes := "Finished jobs by outcome."
+	return &managerMetrics{
+		submitted: reg.Counter("chatgraph_jobs_submitted_total",
+			"Jobs accepted into the queue.", nil),
+		shed: reg.Counter("chatgraph_jobs_shed_total",
+			"Job submissions rejected because the queue was full.", nil),
+		done: reg.Counter("chatgraph_jobs_total",
+			outcomes, metrics.Labels{"outcome": "done"}),
+		failed: reg.Counter("chatgraph_jobs_total",
+			outcomes, metrics.Labels{"outcome": "failed"}),
+		cancelled: reg.Counter("chatgraph_jobs_total",
+			outcomes, metrics.Labels{"outcome": "cancelled"}),
+		duration: reg.Histogram("chatgraph_job_duration_seconds",
+			"Job execution time (start to terminal state), excluding queue wait.",
+			DurationBuckets, nil),
+		queueWait: reg.Histogram("chatgraph_job_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.",
+			DurationBuckets, nil),
+	}
+}
+
+// outcome maps a terminal state to its counter.
+func (mm *managerMetrics) outcome(st State) *metrics.Counter {
+	switch st {
+	case StateFailed:
+		return mm.failed
+	case StateCancelled:
+		return mm.cancelled
+	default:
+		return mm.done
+	}
+}

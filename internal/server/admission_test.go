@@ -60,6 +60,7 @@ func newAdmissionServer(t *testing.T, eng *core.Engine, opts Options) (*Server, 
 	srv := New(eng, opts)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
 	return srv, ts
 }
 

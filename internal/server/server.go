@@ -3,7 +3,11 @@
 // conversation chats at POST /v1/sessions/{id}/chat (add ?stream=1 for
 // NDJSON progress streaming), reads its dialog at GET
 // /v1/sessions/{id}/history, and ends at DELETE /v1/sessions/{id}. Sessions
-// idle past the manager's TTL expire automatically. The single-conversation
+// idle past the manager's TTL expire automatically. Chains too heavy for
+// the per-request deadline run asynchronously: POST /v1/jobs accepts the
+// same chat payload (plus an optional pinned chain and priority), GET
+// /v1/jobs/{id} polls status and result (?stream=1 tails progress events
+// as NDJSON, live or replayed), and DELETE /v1/jobs/{id} cancels. The single-conversation
 // endpoints mirroring the paper's Gradio panels (Fig. 2/3) remain: POST
 // /chat (one shared legacy conversation), GET /suggest, GET /apis,
 // GET /config, GET /healthz. All state shared between conversations lives
@@ -23,6 +27,7 @@ import (
 	"chatgraph/internal/core"
 	"chatgraph/internal/executor"
 	"chatgraph/internal/graph"
+	"chatgraph/internal/jobs"
 	"chatgraph/internal/metrics"
 )
 
@@ -57,6 +62,14 @@ type Options struct {
 	// keeps its private *graph.Graph (pre-interning behavior). Parity tests
 	// use it; production servers should leave interning on.
 	DisableGraphIntern bool
+	// JobWorkers sizes the async job worker pool (0 → jobs.DefaultWorkers).
+	JobWorkers int
+	// JobQueue caps queued (not yet running) jobs; a full queue sheds
+	// POST /v1/jobs with 429 (0 → jobs.DefaultQueueDepth).
+	JobQueue int
+	// JobRetention is how long finished jobs stay queryable (0 →
+	// jobs.DefaultRetention).
+	JobRetention time.Duration
 }
 
 // Server routes HTTP traffic onto a shared core.Engine. Conversation state
@@ -67,6 +80,8 @@ type Server struct {
 	mgr  *SessionManager
 	opts Options
 	hm   *httpMetrics
+	// jobs is the async execution pool behind the /v1/jobs surface.
+	jobs *jobs.Manager
 	// legacy backs the pre-v1 single-conversation POST /chat endpoint.
 	legacy *core.Session
 }
@@ -78,10 +93,16 @@ func New(eng *core.Engine, opts Options) *Server {
 		reg = metrics.Default()
 	}
 	s := &Server{
-		eng:    eng,
-		mgr:    NewSessionManager(eng, opts.SessionTTL, opts.MaxSessions),
-		opts:   opts,
-		hm:     newHTTPMetrics(reg),
+		eng:  eng,
+		mgr:  NewSessionManager(eng, opts.SessionTTL, opts.MaxSessions),
+		opts: opts,
+		hm:   newHTTPMetrics(reg),
+		jobs: jobs.New(jobs.Options{
+			Workers:    opts.JobWorkers,
+			QueueDepth: opts.JobQueue,
+			Retention:  opts.JobRetention,
+			Metrics:    reg,
+		}),
 		legacy: eng.NewSession(),
 	}
 	// Session gauges read the manager's own bookkeeping at scrape time — no
@@ -108,6 +129,15 @@ func (s *Server) Metrics() *metrics.Registry { return s.hm.reg }
 // it; tests inspect it).
 func (s *Server) Sessions() *SessionManager { return s.mgr }
 
+// Jobs exposes the async job pool (daemons wire sweepers to it; tests
+// inspect it).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close stops the async job pool: queued jobs are cancelled, running jobs
+// have their contexts cancelled, and Close returns once every worker has
+// exited. Call it after draining HTTP traffic.
+func (s *Server) Close() { s.jobs.Close() }
+
 // Handler returns the route table wrapped with request-ID tagging. Every
 // route is instrumented (request counter, latency histogram, in-flight
 // gauge) under a stable low-cardinality route name; the heavy routes are
@@ -129,6 +159,15 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/sessions/{id}/chat", "v1.chat", s.handleSessionChat, true)
 	handle("GET /v1/sessions/{id}/history", "v1.history", s.handleSessionHistory, true)
 	handle("POST /v1/retrieve", "v1.retrieve", s.handleRetrieve, true)
+	// Async job surface. Submission and listing are admission-gated like
+	// the other heavy routes (the per-request deadline only bounds the
+	// enqueue, never the job); status, streaming, and cancel are not —
+	// a long NDJSON tail must outlive RequestTimeout, and cancelling must
+	// work on an overloaded server.
+	handle("POST /v1/jobs", "v1.jobs.create", s.handleJobCreate, true)
+	handle("GET /v1/jobs", "v1.jobs.list", s.handleJobList, true)
+	handle("GET /v1/jobs/{id}", "v1.jobs.get", s.handleJobGet, false)
+	handle("DELETE /v1/jobs/{id}", "v1.jobs.cancel", s.handleJobCancel, false)
 	// Legacy single-conversation surface.
 	handle("/chat", "chat", s.handleChat, true)
 	handle("/apis", "apis", s.handleAPIs, false)
