@@ -49,6 +49,8 @@ func main() {
 		llmURL      = flag.String("llm", "", "OpenAI-style endpoint for chain generation (default: built-in model)")
 		llmModel    = flag.String("model", "vicuna-13b", "model name sent to the -llm endpoint")
 		seed        = flag.Int64("seed", 42, "seed for training and the molecule database")
+		quantize    = flag.Bool("quantize", false, "serve retrieval from the int8 quantized tier with exact f32 rerank")
+		rerank      = flag.Int("rerank-factor", 0, "quantized over-fetch multiple for the f32 rerank (0 = default 4; needs -quantize)")
 		mols        = flag.Int("molecules", 200, "molecules to seed the similarity database with")
 		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle timeout after which a v1 session expires")
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "cap on concurrently live v1 sessions")
@@ -81,9 +83,19 @@ func main() {
 		if cfgErr != nil {
 			log.Fatalf("chatgraphd: %v", cfgErr)
 		}
+		// The quantization flags layer over the file so one config can serve
+		// both tiers in an A/B rollout.
+		if *quantize {
+			fc.ANN.Quantize = true
+		}
+		if *rerank > 0 {
+			fc.ANN.RerankFactor = *rerank
+		}
 		eng, err = core.NewEngineFromConfig(fc, reg, env, *seed)
 	} else {
 		cfg := core.Config{Registry: reg, Env: env, TrainSeed: *seed}
+		cfg.Retrieve.Quantize = *quantize
+		cfg.Retrieve.RerankFactor = *rerank
 		if *llmURL != "" {
 			cfg.Client = &llm.HTTPClient{BaseURL: *llmURL, Model: *llmModel}
 		}

@@ -56,15 +56,27 @@ type Index interface {
 }
 
 // BruteForce is the exact baseline: a fused linear scan over the flat
-// matrix with a k-bounded heap, O(n·d + n·log k) per query.
+// matrix with a k-bounded heap, O(n·d + n·log k) per query. With the
+// quantized tier enabled the scan runs over int8 codes and only the
+// rerank·k best candidates touch f32 rows, making it approximate (recall
+// bounded by the rerank factor) but far cheaper per candidate.
 type BruteForce struct {
-	mat *vecmath.Matrix
+	mat   *vecmath.Matrix
+	quant quantStore
 }
 
 // NewBruteForce copies vecs into a contiguous matrix. It panics on ragged
 // input; an empty input yields a searchable empty index.
 func NewBruteForce(vecs [][]float32) *BruteForce {
 	return &BruteForce{mat: mustMatrix(vecs)}
+}
+
+// NewBruteForceQuant is NewBruteForce plus the two-stage quantized scan
+// described by cfg. With cfg.Enabled false it is exactly NewBruteForce.
+func NewBruteForceQuant(vecs [][]float32, cfg QuantConfig) *BruteForce {
+	b := NewBruteForce(vecs)
+	b.quant = newQuantStore(b.mat, cfg)
+	return b
 }
 
 // newBruteForceMatrix shares an already-built matrix (used by index
@@ -98,6 +110,9 @@ func (b *BruteForce) SearchWithStats(q []float32, k int) ([]Result, SearchStats)
 	}
 	sc := getScratch(0)
 	defer putScratch(sc)
+	if b.quant.enabled() {
+		return b.searchQuant(q, k, sc)
+	}
 	qn := vecmath.SquaredNorm(q)
 	tile := sc.distTile(bruteTile)
 	for base := 0; base < n; base += bruteTile {
@@ -111,6 +126,27 @@ func (b *BruteForce) SearchWithStats(q []float32, k int) ([]Result, SearchStats)
 		}
 	}
 	return drainSorted(&sc.best, k), SearchStats{DistComps: n, Hops: 1}
+}
+
+// searchQuant is the two-stage brute-force scan: tile the int8 codes into a
+// rerank·k-bounded heap, then rerank those candidates against the f32 rows.
+func (b *BruteForce) searchQuant(q []float32, k int, sc *searchScratch) ([]Result, SearchStats) {
+	n := b.mat.Rows()
+	m := b.quant.overfetch(k, n)
+	b.quant.qmat.QuantizeQuery(q, &sc.qq)
+	tile := sc.distTile(bruteTile)
+	for base := 0; base < n; base += bruteTile {
+		hi := base + bruteTile
+		if hi > n {
+			hi = n
+		}
+		b.quant.qmat.L2SquaredRange(&sc.qq, base, hi, tile)
+		for j, d := range tile[:hi-base] {
+			boundedInsert(&sc.best, Result{ID: base + j, Dist: d}, m)
+		}
+	}
+	stats := SearchStats{DistComps: n, Hops: 1}
+	return rerankExact(b.mat, q, vecmath.SquaredNorm(q), sc, k, &stats), stats
 }
 
 // SearchBatch implements Index.
@@ -143,7 +179,8 @@ type graphIndex struct {
 	mat   *vecmath.Matrix
 	adj   [][]int32
 	entry int
-	beam  int // default ef for search, ≥ k
+	beam  int        // default ef for search, ≥ k
+	quant quantStore // optional int8 routing tier (see quantBeam)
 }
 
 // Len implements Index.

@@ -20,6 +20,7 @@ type HNSW struct {
 	maxLvl int
 	m      int
 	beam   int
+	quant  quantStore
 }
 
 // HNSWConfig tunes construction.
@@ -32,6 +33,11 @@ type HNSWConfig struct {
 	Beam int
 	// Seed drives level sampling.
 	Seed int64
+	// Quant gates two-stage search: the upper-layer greedy descent stays
+	// f32 (it touches a handful of sparse nodes), the layer-0 beam routes
+	// over int8 codes, and the rerank·k best are reranked exactly.
+	// Construction always links with f32 distances.
+	Quant QuantConfig
 }
 
 func (c *HNSWConfig) setDefaults() {
@@ -77,6 +83,7 @@ func NewHNSW(vecs [][]float32, cfg HNSWConfig) (*HNSW, error) {
 			h.entry = i
 		}
 	}
+	h.quant = newQuantStore(h.mat, cfg.Quant)
 	return h, nil
 }
 
@@ -185,6 +192,22 @@ func (h *HNSW) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
 	}
 	sc := getScratch(h.mat.Rows())
 	defer putScratch(sc)
+	if h.quant.enabled() {
+		n := h.mat.Rows()
+		if k > n {
+			k = n
+		}
+		m := h.quant.overfetch(k, n)
+		if ef < m {
+			ef = m
+		}
+		h.quant.qmat.QuantizeQuery(q, &sc.qq)
+		beamSearchAdjQ(h.quant.qmat, h.layers[0], cur, ef, sc, &stats)
+		for len(sc.best) > m {
+			maxPop(&sc.best)
+		}
+		return rerankExact(h.mat, q, qn, sc, k, &stats), stats
+	}
 	rs := beamSearchAdj(h.mat, h.layers[0], cur, ef, k, q, qn, sc, &stats)
 	return rs, stats
 }

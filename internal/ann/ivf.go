@@ -17,6 +17,7 @@ type IVFFlat struct {
 	centroids *vecmath.Matrix
 	cells     [][]int32
 	nprobe    int
+	quant     quantStore
 }
 
 // IVFConfig tunes construction.
@@ -29,6 +30,11 @@ type IVFConfig struct {
 	KMeansIters int
 	// Seed drives centroid initialization.
 	Seed int64
+	// Quant gates the two-stage quantized cell scan: cells are scanned with
+	// int8 kernels, and only the rerank·k survivors touch f32 rows.
+	// Centroid ranking stays f32 (centroids are few and accuracy there
+	// decides which cells are probed at all).
+	Quant QuantConfig
 }
 
 // NewIVFFlat builds the index with Lloyd's k-means.
@@ -133,7 +139,9 @@ func NewIVFFlat(vecs [][]float32, cfg IVFConfig) (*IVFFlat, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &IVFFlat{mat: mustMatrix(vecs), centroids: cmat, cells: cells, nprobe: cfg.NProbe}, nil
+	ix := &IVFFlat{mat: mustMatrix(vecs), centroids: cmat, cells: cells, nprobe: cfg.NProbe}
+	ix.quant = newQuantStore(ix.mat, cfg.Quant)
+	return ix, nil
 }
 
 // Len implements Index.
@@ -159,26 +167,44 @@ func (ix *IVFFlat) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
 	tile := sc.distTile(nc)
 	ix.centroids.L2SquaredRange(q, qn, 0, nc, tile)
 	stats.DistComps += nc
-	for i, d := range tile {
-		sc.cells = append(sc.cells, Result{ID: i, Dist: d})
-	}
-	sortResults(sc.cells)
 	probe := ix.nprobe
 	if probe > nc {
 		probe = nc
 	}
-	for p := 0; p < probe; p++ {
+	// Keep only the probe nearest cells, via the allocation-free bounded
+	// heap (sort.Slice would allocate its reflection closure every search).
+	// Probing order doesn't matter: the candidate heap below keeps an exact,
+	// order-independent top-k under the total (Dist, ID) order.
+	for i, d := range tile {
+		boundedInsert(&sc.cells, Result{ID: i, Dist: d}, probe)
+	}
+	// With the quantized tier, cell scans rank with int8 kernels into an
+	// over-fetched heap; the exact rerank below restores f32 precision.
+	quant := ix.quant.enabled()
+	heapK := k
+	if quant {
+		heapK = ix.quant.overfetch(k, ix.mat.Rows())
+		ix.quant.qmat.QuantizeQuery(q, &sc.qq)
+	}
+	for p := range sc.cells {
 		stats.Hops++
 		ids := ix.cells[sc.cells[p].ID]
 		if len(ids) == 0 {
 			continue
 		}
 		tile = sc.distTile(len(ids))
-		ix.mat.L2SquaredToRows(q, qn, ids, tile)
+		if quant {
+			ix.quant.qmat.L2SquaredToRows(&sc.qq, ids, tile)
+		} else {
+			ix.mat.L2SquaredToRows(q, qn, ids, tile)
+		}
 		stats.DistComps += len(ids)
 		for j, d := range tile[:len(ids)] {
-			boundedInsert(&sc.best, Result{ID: int(ids[j]), Dist: d}, k)
+			boundedInsert(&sc.best, Result{ID: int(ids[j]), Dist: d}, heapK)
 		}
+	}
+	if quant {
+		return rerankExact(ix.mat, q, qn, sc, k, &stats), stats
 	}
 	return drainSorted(&sc.best, k), stats
 }

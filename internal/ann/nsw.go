@@ -18,6 +18,9 @@ type NSWConfig struct {
 	EFConstruction int
 	// Beam is the default search beam width (0 → 64).
 	Beam int
+	// Quant gates two-stage search (int8 routing + exact rerank);
+	// construction always links with f32 distances.
+	Quant QuantConfig
 }
 
 func (c *NSWConfig) setDefaults() {
@@ -54,6 +57,7 @@ func NewNSW(vecs [][]float32, cfg NSWConfig) (*NSW, error) {
 		}
 	}
 	g.entry = medoid(g.mat)
+	g.quant = newQuantStore(g.mat, cfg.Quant)
 	return g, nil
 }
 
@@ -68,6 +72,9 @@ func (g *NSW) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
 	ef := g.beam
 	if ef < k {
 		ef = k
+	}
+	if g.quant.enabled() {
+		return g.quantBeam(q, ef, k)
 	}
 	return g.beamSearch(q, ef, k)
 }

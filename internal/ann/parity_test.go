@@ -217,9 +217,14 @@ func TestGraphSearchAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	bf := NewBruteForce(vecs)
+	ivf, err := NewIVFFlat(vecs, IVFConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for name, fn := range map[string]func(){
 		"taumg":      func() { taumg.Search(queries[0], 10) },
 		"bruteforce": func() { bf.Search(queries[0], 10) },
+		"ivf":        func() { ivf.Search(queries[0], 10) },
 		"greedy":     func() { taumg.GreedyRoute(queries[0]) },
 	} {
 		fn() // warm the pool

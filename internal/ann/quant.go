@@ -1,0 +1,137 @@
+package ann
+
+import "chatgraph/internal/vecmath"
+
+// QuantConfig gates the two-stage quantized search path every index can
+// carry: stage 1 ranks candidates with int8 kernels over a
+// vecmath.QuantizedMatrix (¼ the scanned bytes of the f32 store), stage 2
+// reranks the RerankFactor·k best quantized candidates exactly against the
+// retained f32 Matrix. The f32 matrix stays resident (rerank needs it), so
+// the ÷4 applies to the tier every candidate touches, not total RSS.
+type QuantConfig struct {
+	// Enabled turns the quantized tier on.
+	Enabled bool
+	// RerankFactor is the stage-1 over-fetch multiple: the quantized scan
+	// keeps RerankFactor·k candidates for the exact rerank
+	// (0 → DefaultRerankFactor). Higher factors buy recall with more f32
+	// distance computations.
+	RerankFactor int
+}
+
+// DefaultRerankFactor is the over-fetch multiple used when
+// QuantConfig.RerankFactor is 0. At 4 the rerank touches 4·k f32 rows —
+// recall@10 holds ≥ 0.95 on the package's random and clustered fixtures.
+const DefaultRerankFactor = 4
+
+// quantStore is the per-index quantized tier: the int8 view of the index's
+// matrix plus the resolved rerank factor. A zero quantStore means the f32
+// path (enabled reports false).
+type quantStore struct {
+	qmat   *vecmath.QuantizedMatrix
+	rerank int
+}
+
+func newQuantStore(m *vecmath.Matrix, cfg QuantConfig) quantStore {
+	if !cfg.Enabled || m.Rows() == 0 {
+		return quantStore{}
+	}
+	f := cfg.RerankFactor
+	if f <= 0 {
+		f = DefaultRerankFactor
+	}
+	return quantStore{qmat: vecmath.Quantize(m), rerank: f}
+}
+
+func (qs *quantStore) enabled() bool { return qs.qmat != nil }
+
+// overfetch resolves the stage-1 candidate count for a top-k query over n
+// rows: rerank·k, clamped to n.
+func (qs *quantStore) overfetch(k, n int) int {
+	m := k * qs.rerank
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// rerankExact is stage 2: recompute exact f32 distances for every candidate
+// sitting in sc.best (stage 1's quantized top-m) and return the closest k,
+// sorted. Candidates stage through sc.frontier — idle between stages — so
+// the rerank allocates nothing beyond the result slice.
+func rerankExact(mat *vecmath.Matrix, q []float32, qn float32, sc *searchScratch, k int, stats *SearchStats) []Result {
+	cands := append(sc.frontier[:0], sc.best...)
+	sc.best = sc.best[:0]
+	for _, c := range cands {
+		boundedInsert(&sc.best, Result{ID: c.ID, Dist: mat.L2SquaredTo(q, qn, c.ID)}, k)
+	}
+	stats.DistComps += len(cands)
+	sc.frontier = cands[:0]
+	return drainSorted(&sc.best, k)
+}
+
+// beamSearchAdjQ is beamSearchAdj's stage-1 twin: the same best-first
+// routing over one adjacency table, but with every distance computed by the
+// fused int8 kernel against the quantized matrix. It leaves the ef best
+// quantized candidates in sc.best (squared quantized distances, undrained)
+// for rerankExact; sc.qq must already hold the quantized query.
+func beamSearchAdjQ(qmat *vecmath.QuantizedMatrix, adj [][]int32, entry, ef int, sc *searchScratch, stats *SearchStats) {
+	if qmat.Rows() == 0 || ef <= 0 {
+		return
+	}
+	sc.nextEpoch()
+	start := Result{ID: entry, Dist: qmat.L2SquaredTo(&sc.qq, entry)}
+	stats.DistComps++
+	sc.frontier = sc.frontier[:0]
+	sc.best = sc.best[:0]
+	minPush(&sc.frontier, start)
+	maxPush(&sc.best, start)
+	sc.mark(int32(entry))
+	for len(sc.frontier) > 0 {
+		cur := minPop(&sc.frontier)
+		if len(sc.best) >= ef && cur.Dist > sc.best[0].Dist {
+			break
+		}
+		stats.Hops++
+		for _, nb := range adj[cur.ID] {
+			if sc.seen(nb) {
+				continue
+			}
+			sc.mark(nb)
+			d := qmat.L2SquaredTo(&sc.qq, int(nb))
+			stats.DistComps++
+			if len(sc.best) < ef || d < sc.best[0].Dist {
+				minPush(&sc.frontier, Result{ID: int(nb), Dist: d})
+				maxPush(&sc.best, Result{ID: int(nb), Dist: d})
+				if len(sc.best) > ef {
+					maxPop(&sc.best)
+				}
+			}
+		}
+	}
+}
+
+// quantBeam is the quantized two-stage search shared by the graph indexes:
+// route with int8 distances keeping max(ef, rerank·k) candidates, then
+// rerank the rerank·k best exactly.
+func (g *graphIndex) quantBeam(q []float32, ef, k int) ([]Result, SearchStats) {
+	var stats SearchStats
+	n := g.mat.Rows()
+	if n == 0 || ef <= 0 || k <= 0 {
+		return nil, stats
+	}
+	if k > n {
+		k = n
+	}
+	m := g.quant.overfetch(k, n)
+	if ef < m {
+		ef = m
+	}
+	sc := getScratch(n)
+	defer putScratch(sc)
+	g.quant.qmat.QuantizeQuery(q, &sc.qq)
+	beamSearchAdjQ(g.quant.qmat, g.adj, g.entry, ef, sc, &stats)
+	for len(sc.best) > m {
+		maxPop(&sc.best)
+	}
+	return rerankExact(g.mat, q, vecmath.SquaredNorm(q), sc, k, &stats), stats
+}

@@ -26,6 +26,10 @@ type searchScratch struct {
 	dists []float32
 	// cells ranks IVF cells by centroid distance.
 	cells []Result
+	// qq holds the quantized query for two-stage search; its code buffer
+	// recycles with the scratch, so quantizing a query allocates nothing at
+	// steady state.
+	qq vecmath.QuantizedQuery
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}

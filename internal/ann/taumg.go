@@ -42,6 +42,10 @@ type TauMGConfig struct {
 	// Seed drives the random candidate sampling (build is deterministic
 	// for a fixed seed).
 	Seed int64
+	// Quant gates two-stage search: beam routing over int8 codes, exact f32
+	// rerank of the rerank·k best. Construction always uses f32 distances —
+	// the graph itself is identical either way.
+	Quant QuantConfig
 }
 
 func (c *TauMGConfig) setDefaults() {
@@ -112,6 +116,7 @@ func NewTauMG(vecs [][]float32, cfg TauMGConfig) (*TauMG, error) {
 	}
 	t.entry = medoid(t.mat)
 	t.ensureReachable()
+	t.quant = newQuantStore(t.mat, cfg.Quant)
 	return t, nil
 }
 
@@ -191,6 +196,9 @@ func (t *TauMG) SearchWithStats(q []float32, k int) ([]Result, SearchStats) {
 	ef := t.beam
 	if ef < k {
 		ef = k
+	}
+	if t.quant.enabled() {
+		return t.quantBeam(q, ef, k)
 	}
 	return t.beamSearch(q, ef, k)
 }

@@ -154,8 +154,10 @@ func NewEngineFromConfig(fc config.Config, registry *apis.Registry, env *apis.En
 		Env:        env,
 		RetrievalK: fc.ANN.TopK,
 		Retrieve: retrieve.Config{
-			Dim: fc.ANN.Dim,
-			Tau: float32(fc.ANN.Tau),
+			Dim:          fc.ANN.Dim,
+			Tau:          float32(fc.ANN.Tau),
+			Quantize:     fc.ANN.Quantize,
+			RerankFactor: fc.ANN.RerankFactor,
 		},
 		Prompt: llm.PromptConfig{
 			MaxPathLines:   fc.Sequentializer.MaxPathLines,

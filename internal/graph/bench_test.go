@@ -75,6 +75,39 @@ func BenchmarkEccentricities(b *testing.B) {
 	}
 }
 
+// BenchmarkBFSFrontier pits the retired queue-only BFS (eccFromQueue) against
+// the hybrid queue/bitset traversal (eccFrom) on graphs dense enough to reach
+// the bottom-up mode, plus the sparse BA graph where the hybrid must not
+// regress (it never promotes there).
+func BenchmarkBFSFrontier(b *testing.B) {
+	graphs := []struct {
+		name string
+		g    *Graph
+	}{
+		{"er_n2000_d40", ErdosRenyi(2000, 0.02, rand.New(rand.NewSource(1)))},
+		{"er_n4000_d120", ErdosRenyi(4000, 0.03, rand.New(rand.NewSource(2)))},
+		{"planted_n2000", PlantedCommunities(4, 500, 0.08, 0.002, rand.New(rand.NewSource(3)))},
+		{"ba_n2000_sparse", BarabasiAlbert(2000, 2, rand.New(rand.NewSource(4)))},
+	}
+	for _, tc := range graphs {
+		c := tc.g.Freeze()
+		for _, impl := range []struct {
+			name string
+			ecc  func(int32, *travScratch) int32
+		}{{"queue", c.eccFromQueue}, {"hybrid", c.eccFrom}} {
+			b.Run(tc.name+"/"+impl.name, func(b *testing.B) {
+				sc := getTrav(c.n)
+				defer putTrav(sc)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					impl.ecc(int32(i%c.n), sc)
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkCoreNumbers(b *testing.B) {
 	g := benchGraph(b, 2000)
 	g.Freeze()
@@ -131,6 +164,26 @@ func BenchmarkJSONRoundTrip(b *testing.B) {
 		if _, err := ParseJSON(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParseJSON isolates the wire → Graph decode (the hot path of every
+// graph upload), excluding serialization.
+func BenchmarkParseJSON(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		g := benchGraph(b, n)
+		data, err := g.MarshalJSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ParseJSON(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

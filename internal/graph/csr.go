@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 )
@@ -301,9 +302,167 @@ func (c *CSR) BFS(start NodeID, visit func(id NodeID, depth int) bool) {
 	}
 }
 
+// Hybrid BFS tuning. A frontier holding at least
+// max(n/denseFrontierDivisor, minDenseFrontier) nodes promotes to the dense
+// (bitset, bottom-up) mode; it demotes back to the queue when a level
+// shrinks below half that threshold. The floor keeps tiny graphs — where a
+// whole traversal costs less than one bitset rebuild — on the queue path.
+const (
+	denseFrontierDivisor = 16
+	minDenseFrontier     = 64
+)
+
+// bfsFrom is the level-synchronous hybrid BFS core shared by eccFrom,
+// ShortestPathLengths, and components. Sparse frontiers expand top-down
+// through the queue, exactly like the classic loop. When a level grows past
+// the density threshold the traversal promotes to bottom-up: the visited
+// bitset is rebuilt from the epoch marks, and each subsequent level is found
+// by sweeping the complement words (bits.TrailingZeros64 per unvisited
+// node) and probing reverse-adjacency rows for a frontier member, breaking
+// at the first hit — on dense levels that replaces |frontier|·degree edge
+// scans with early-exiting probes of the (few) unvisited nodes. Epoch marks
+// stay in sync in dense mode, so demotion (and any later caller using
+// sc.seen) just works.
+//
+// off/tgt is the adjacency to traverse; roff/rtgt must be its reverse (the
+// same slices for symmetric views). depth[v] is set for every reached node;
+// unreached entries are left untouched (callers identify reached nodes via
+// sc.seen). members, when non-nil, collects every reached node, in no
+// particular order. The caller owns the epoch: bfsFrom never bumps it, so
+// components can share one epoch across per-component calls. Returns the
+// maximum depth reached.
+func (c *CSR) bfsFrom(src int32, sc *travScratch, off []int32, tgt []NodeID, roff []int32, rtgt []NodeID, depth []int32, members *[]NodeID) int32 {
+	threshold := c.n / denseFrontierDivisor
+	if threshold < minDenseFrontier {
+		threshold = minDenseFrontier
+	}
+	q := sc.queue[:0]
+	defer func() { sc.queue = q[:0] }()
+	q = append(q, src)
+	sc.mark(src)
+	depth[src] = 0
+	if members != nil {
+		*members = append(*members, NodeID(src))
+	}
+	var (
+		d, maxD        int32 // current frontier depth, deepest level seen
+		dense          bool
+		cur, next, vis []uint64
+	)
+	lo, hi := 0, 1 // current level occupies q[lo:hi]
+	for {
+		if !dense && hi-lo >= threshold {
+			// Promote: rebuild the bitsets — visited from the epoch marks,
+			// the frontier from the current queue level. O(n) once, paid
+			// only when the level itself is Ω(n/16).
+			cur, next, vis = sc.bitsets(c.n)
+			clear(cur)
+			clear(vis)
+			for i := 0; i < c.n; i++ {
+				if sc.visited[i] == sc.epoch {
+					vis[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+			for _, u := range q[lo:hi] {
+				cur[u>>6] |= 1 << (uint(u) & 63)
+			}
+			q = q[:0]
+			lo, hi = 0, 0
+			dense = true
+		}
+		if dense {
+			clear(next)
+			count := 0
+			for w, free := range vis {
+				free = ^free
+				if base := w << 6; base+64 > c.n {
+					free &= 1<<(uint(c.n-base)) - 1
+				}
+				for free != 0 {
+					b := bits.TrailingZeros64(free)
+					free &^= 1 << uint(b)
+					v := int32(w<<6 + b)
+					for _, u := range rtgt[roff[v]:roff[v+1]] {
+						if cur[u>>6]&(1<<(uint(u)&63)) != 0 {
+							depth[v] = d + 1
+							sc.mark(v)
+							vis[w] |= 1 << uint(b)
+							next[v>>6] |= 1 << (uint(v) & 63)
+							count++
+							if members != nil {
+								*members = append(*members, NodeID(v))
+							}
+							break
+						}
+					}
+				}
+			}
+			if count == 0 {
+				return maxD
+			}
+			d++
+			maxD = d
+			cur, next = next, cur
+			if count < threshold/2 {
+				// Demote: extract the again-sparse frontier into the queue.
+				dense = false
+				for w, bw := range cur {
+					for bw != 0 {
+						b := bits.TrailingZeros64(bw)
+						bw &^= 1 << uint(b)
+						q = append(q, int32(w<<6+b))
+					}
+				}
+				lo, hi = 0, len(q)
+			}
+			continue
+		}
+		if lo == hi {
+			return maxD
+		}
+		for i := lo; i < hi; i++ {
+			u := q[i]
+			for _, v := range tgt[off[u]:off[u+1]] {
+				if !sc.seen(int32(v)) {
+					sc.mark(int32(v))
+					depth[v] = d + 1
+					q = append(q, int32(v))
+					if members != nil {
+						*members = append(*members, NodeID(v))
+					}
+				}
+			}
+		}
+		lo, hi = hi, len(q)
+		if lo < hi {
+			d++
+			maxD = d
+		}
+	}
+}
+
+// bfsForward runs the hybrid BFS from src over the forward adjacency using
+// sc's current epoch (directed graphs probe in-neighbors bottom-up via the
+// reverse arrays). See bfsFrom for the depth/seen contract.
+func (c *CSR) bfsForward(src int32, sc *travScratch, depth []int32) int32 {
+	roff, rtgt := c.offsets, c.targets
+	if c.directed {
+		roff, rtgt = c.roffsets, c.rtargets
+	}
+	return c.bfsFrom(src, sc, c.offsets, c.targets, roff, rtgt, depth, nil)
+}
+
 // eccFrom returns the maximum BFS depth reachable from src over the forward
-// adjacency, using the caller's scratch. Zero allocations.
+// adjacency, using the caller's scratch. Zero allocations; dense levels run
+// bottom-up (see bfsFrom).
 func (c *CSR) eccFrom(src int32, sc *travScratch) int32 {
+	sc.nextEpoch()
+	return c.bfsForward(src, sc, sc.ints(c.n))
+}
+
+// eccFromQueue is the pure queue-frontier eccentricity BFS the hybrid
+// replaced, kept as the parity oracle and benchmark baseline for bfsFrom.
+func (c *CSR) eccFromQueue(src int32, sc *travScratch) int32 {
 	sc.nextEpoch()
 	depth := sc.ints(c.n)
 	q := sc.queue[:0]
@@ -359,36 +518,21 @@ func (c *CSR) farthest(src int32, sc *travScratch) (NodeID, int32) {
 
 // components returns the weakly connected components (members sorted,
 // components ordered by smallest member), matching the pre-CSR
-// Graph.ConnectedComponents output exactly.
+// Graph.ConnectedComponents output exactly. Each component is traversed by
+// the hybrid BFS over the symmetric undirected view; one shared epoch spans
+// all components, so the dense mode's visited bitset automatically excludes
+// nodes claimed by earlier components.
 func (c *CSR) components() [][]NodeID {
-	comp := make([]int32, c.n)
-	for i := range comp {
-		comp[i] = -1
-	}
 	sc := getTrav(c.n)
 	defer putTrav(sc)
-	stack := sc.queue[:0]
-	defer func() { sc.queue = stack[:0] }()
+	depth := sc.ints(c.n)
 	var comps [][]NodeID
 	for s := 0; s < c.n; s++ {
-		if comp[s] >= 0 {
+		if sc.seen(int32(s)) {
 			continue
 		}
-		id := int32(len(comps))
-		stack = append(stack[:0], int32(s))
-		comp[s] = id
 		members := make([]NodeID, 0, 8)
-		for len(stack) > 0 {
-			u := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			members = append(members, NodeID(u))
-			for _, v := range c.utargets[c.uoffsets[u]:c.uoffsets[u+1]] {
-				if comp[v] < 0 {
-					comp[v] = id
-					stack = append(stack, int32(v))
-				}
-			}
-		}
+		c.bfsFrom(int32(s), sc, c.uoffsets, c.utargets, c.uoffsets, c.utargets, depth, &members)
 		sortNodeIDs(members)
 		comps = append(comps, members)
 	}

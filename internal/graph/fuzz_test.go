@@ -21,6 +21,7 @@ func fuzzSeedCorpus(f *testing.F) {
 		Molecule(9, rng),
 		KnowledgeGraph(6, 10, rng),
 		BarabasiAlbert(8, 2, rng),
+		ErdosRenyi(24, 0.3, rng),
 		New(),
 	} {
 		data, err := json.Marshal(g)
@@ -38,6 +39,13 @@ func fuzzSeedCorpus(f *testing.F) {
 		`{"nodes":[{"id":0}],"edges":[{"from":0,"to":7}]}`,
 		`{"nodes":[{"id":1}],"edges":[{"from":1,"to":1}]}`,
 		`not json`,
+		// Bulk-loader edge cases: IDs dense but out of order (remap path),
+		// a gap forcing remap, negative endpoints on the dense fast path,
+		// and a directed payload exercising the carved reverse adjacency.
+		`{"nodes":[{"id":1},{"id":0}],"edges":[{"from":0,"to":1}]}`,
+		`{"nodes":[{"id":0},{"id":2}],"edges":[{"from":0,"to":2}]}`,
+		`{"nodes":[{"id":0},{"id":1}],"edges":[{"from":-1,"to":1}]}`,
+		`{"directed":true,"nodes":[{"id":0},{"id":1},{"id":2}],"edges":[{"from":2,"to":0},{"from":2,"to":1},{"from":0,"to":1}]}`,
 	} {
 		f.Add([]byte(s))
 	}

@@ -420,16 +420,27 @@ func (g *Graph) ConnectedComponents() [][]NodeID {
 }
 
 // ShortestPathLengths runs an unweighted BFS from src and returns hop counts
-// to every node; unreachable nodes get -1.
+// to every node; unreachable nodes get -1. The traversal uses the hybrid
+// queue/bitset frontier, so dense graphs pay bottom-up sweeps instead of
+// per-edge scans.
 func (g *Graph) ShortestPathLengths(src NodeID) []int {
 	dist := make([]int, len(g.nodes))
 	for i := range dist {
 		dist[i] = -1
 	}
-	g.BFS(src, func(id NodeID, depth int) bool {
-		dist[id] = depth
-		return true
-	})
+	if src < 0 || int(src) >= len(g.nodes) {
+		return dist
+	}
+	c := g.Freeze()
+	sc := getTrav(c.n)
+	defer putTrav(sc)
+	depth := sc.ints(c.n)
+	c.bfsForward(int32(src), sc, depth)
+	for i := range dist {
+		if sc.seen(int32(i)) {
+			dist[i] = int(depth[i])
+		}
+	}
 	return dist
 }
 

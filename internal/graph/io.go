@@ -33,7 +33,12 @@ type jsonEdge struct {
 
 // MarshalJSON encodes g in the upload wire format.
 func (g *Graph) MarshalJSON() ([]byte, error) {
-	jg := jsonGraph{Name: g.Name, Directed: g.directed}
+	jg := jsonGraph{
+		Name:     g.Name,
+		Directed: g.directed,
+		Nodes:    make([]jsonNode, 0, len(g.nodes)),
+		Edges:    make([]jsonEdge, 0, len(g.edges)),
+	}
 	for _, n := range g.nodes {
 		jg.Nodes = append(jg.Nodes, jsonNode{ID: int(n.ID), Label: n.Label, Attrs: n.Attrs})
 	}
@@ -60,31 +65,137 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	g.directed = jg.Directed
 	g.nodes, g.edges, g.adj, g.radj = nil, nil, nil, nil
 	g.bump()
-	g.Grow(len(jg.Nodes), len(jg.Edges))
-	remap := make(map[int]NodeID, len(jg.Nodes))
-	for _, n := range jg.Nodes {
-		if _, dup := remap[n.ID]; dup {
-			return fmt.Errorf("graph: duplicate node id %d", n.ID)
+	return g.loadWire(&jg)
+}
+
+// loadWire bulk-loads the decoded wire form into a reset g with batch
+// allocation: one Node slab, one Edge slab, and one edge-index slab carved
+// into per-node adjacency rows, instead of the per-AddNode/AddEdge appends
+// (two adjacency allocations per node) the incremental path pays. The
+// decoder's attribute maps are adopted rather than copied — jg is private to
+// this parse. Validation order matches the incremental path exactly:
+// duplicate node IDs in payload order, then per edge unknown-From,
+// unknown-To, self-loop.
+func (g *Graph) loadWire(jg *jsonGraph) error {
+	n, m := len(jg.Nodes), len(jg.Edges)
+
+	// Payloads we marshalled ourselves (and most hand-written ones) already
+	// carry dense in-order IDs; detect that and skip the remap table — a
+	// duplicate is impossible when every ID equals its index.
+	dense := true
+	for i := range jg.Nodes {
+		if jg.Nodes[i].ID != i {
+			dense = false
+			break
 		}
-		remap[n.ID] = g.AddNodeAttrs(n.Label, n.Attrs)
 	}
-	for _, e := range jg.Edges {
-		from, ok := remap[e.From]
-		if !ok {
-			return fmt.Errorf("graph: edge references unknown node %d", e.From)
+	var remap map[int]NodeID
+	if !dense {
+		remap = make(map[int]NodeID, n)
+		for i := range jg.Nodes {
+			id := jg.Nodes[i].ID
+			if _, dup := remap[id]; dup {
+				return fmt.Errorf("graph: duplicate node id %d", id)
+			}
+			remap[id] = NodeID(i)
 		}
-		to, ok := remap[e.To]
-		if !ok {
-			return fmt.Errorf("graph: edge references unknown node %d", e.To)
+	}
+
+	nodes := make([]Node, n)
+	for i := range jg.Nodes {
+		nodes[i] = Node{ID: NodeID(i), Label: jg.Nodes[i].Label}
+		if len(jg.Nodes[i].Attrs) > 0 {
+			nodes[i].Attrs = jg.Nodes[i].Attrs
+		}
+	}
+
+	// Validate every edge and count degrees in one pass, then fill the Edge
+	// slab; errors surface for the first bad edge in payload order, exactly
+	// as AddEdgeLabeled reported them.
+	edges := make([]Edge, m)
+	deg := make([]int, n)
+	var rdeg []int
+	if g.directed {
+		rdeg = make([]int, n)
+	}
+	for i := range jg.Edges {
+		e := &jg.Edges[i]
+		var from, to NodeID
+		if dense {
+			if e.From < 0 || e.From >= n {
+				return fmt.Errorf("graph: edge references unknown node %d", e.From)
+			}
+			if e.To < 0 || e.To >= n {
+				return fmt.Errorf("graph: edge references unknown node %d", e.To)
+			}
+			from, to = NodeID(e.From), NodeID(e.To)
+		} else {
+			var ok bool
+			if from, ok = remap[e.From]; !ok {
+				return fmt.Errorf("graph: edge references unknown node %d", e.From)
+			}
+			if to, ok = remap[e.To]; !ok {
+				return fmt.Errorf("graph: edge references unknown node %d", e.To)
+			}
+		}
+		if from == to {
+			return fmt.Errorf("graph: self-loop on node %d rejected", from)
 		}
 		w := e.Weight
 		if w == 0 {
 			w = 1
 		}
-		if err := g.AddEdgeLabeled(from, to, e.Label, w); err != nil {
-			return err
+		edges[i] = Edge{From: from, To: to, Label: e.Label, Weight: w}
+		deg[from]++
+		if g.directed {
+			rdeg[to]++
+		} else {
+			deg[to]++
 		}
 	}
+
+	// Carve one index slab into the adjacency rows. Three-index subslices
+	// cap each row at its degree, so a post-parse AddEdge appending to a row
+	// reallocates just that row instead of corrupting its neighbor.
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	rstart := total
+	for _, d := range rdeg {
+		total += d
+	}
+	slab := make([]int, 0, total)
+	adj := make([][]int, n)
+	off := 0
+	for u, d := range deg {
+		adj[u] = slab[off : off : off+d]
+		off += d
+	}
+	var radj [][]int
+	if g.directed {
+		radj = make([][]int, n)
+		off = rstart
+		for u, d := range rdeg {
+			radj[u] = slab[off : off : off+d]
+			off += d
+		}
+	}
+	for i := range edges {
+		e := &edges[i]
+		adj[e.From] = append(adj[e.From], i)
+		if g.directed {
+			radj[e.To] = append(radj[e.To], i)
+		} else {
+			adj[e.To] = append(adj[e.To], i)
+		}
+	}
+
+	g.nodes, g.edges, g.adj, g.radj = nodes, edges, adj, radj
+	// The version advances exactly as the incremental path did: the caller's
+	// reset bump plus one per node and per edge, so round-trip version
+	// equality (an invoke-cache key property) holds.
+	g.version += uint64(n + m)
 	return nil
 }
 

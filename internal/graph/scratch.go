@@ -27,6 +27,11 @@ type travScratch struct {
 	parent []int32
 	// heap is the Dijkstra priority queue.
 	heap []heapEntry
+	// curBits/nextBits/visBits are the word-packed frontier and visited
+	// bitsets of the hybrid BFS's dense (bottom-up) mode; see CSR.bfsFrom.
+	curBits  []uint64
+	nextBits []uint64
+	visBits  []uint64
 }
 
 // heapEntry is one Dijkstra priority-queue item.
@@ -89,6 +94,19 @@ func (sc *travScratch) floats(n int) []float64 {
 		sc.fdist = make([]float64, n)
 	}
 	return sc.fdist[:n]
+}
+
+// bitsets returns the three word-packed bitsets backing the hybrid BFS's
+// dense mode — current frontier, next frontier, visited — each sized for n
+// nodes. Contents are undefined; the promotion path rebuilds all three.
+func (sc *travScratch) bitsets(n int) (cur, next, vis []uint64) {
+	words := (n + 63) >> 6
+	if cap(sc.curBits) < words {
+		sc.curBits = make([]uint64, words)
+		sc.nextBits = make([]uint64, words)
+		sc.visBits = make([]uint64, words)
+	}
+	return sc.curBits[:words], sc.nextBits[:words], sc.visBits[:words]
 }
 
 // parents returns sc.parent grown to at least n entries (contents undefined).

@@ -32,6 +32,13 @@ type Config struct {
 	// ExactThreshold: registries with at most this many APIs use brute
 	// force instead of a proximity graph (0 → 64).
 	ExactThreshold int
+	// Quantize enables the int8 two-stage search tier on whichever index is
+	// built: candidates rank on quantized codes (¼ the scanned bytes) and
+	// the RerankFactor·k best are reranked with exact f32 distances.
+	Quantize bool
+	// RerankFactor is the quantized over-fetch multiple
+	// (0 → ann.DefaultRerankFactor). Ignored unless Quantize is set.
+	RerankFactor int
 }
 
 // Index retrieves APIs by embedding similarity.
@@ -67,11 +74,12 @@ func New(reg *apis.Registry, cfg Config) (*Index, error) {
 	}
 	ix.emb.Fit(corpus)
 	vecs := ix.emb.EmbedBatch(corpus)
+	quant := ann.QuantConfig{Enabled: cfg.Quantize, RerankFactor: cfg.RerankFactor}
 	if len(vecs) <= cfg.ExactThreshold {
-		ix.search = ann.NewBruteForce(vecs)
+		ix.search = ann.NewBruteForceQuant(vecs, quant)
 		return ix, nil
 	}
-	idx, err := ann.NewTauMG(vecs, ann.TauMGConfig{Tau: cfg.Tau})
+	idx, err := ann.NewTauMG(vecs, ann.TauMGConfig{Tau: cfg.Tau, Quant: quant})
 	if err != nil {
 		return nil, fmt.Errorf("retrieve: build index: %w", err)
 	}

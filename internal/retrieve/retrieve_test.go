@@ -191,3 +191,70 @@ func TestTauMGPathUsed(t *testing.T) {
 		t.Fatalf("tau-MG retrieval top-5 = %v", hits)
 	}
 }
+
+// TestQuantizedRetrievalParity: with the int8 tier enabled, retrieval must
+// keep recall ≥ 0.95 against the f32 index on both the brute-force path
+// (default registry) and the τ-MG path (padded registry), and every hit must
+// carry an exact f32 distance (stage 2 reranks exactly).
+func TestQuantizedRetrievalParity(t *testing.T) {
+	reg := apis.Default(nil)
+	for i := 0; reg.Len() < 80; i++ {
+		name := fmt.Sprintf("pad.api%d", i)
+		if err := reg.Register(apis.API{
+			Name:        name,
+			Description: fmt.Sprintf("padding operation number %d for index scale testing", i),
+			Category:    "util",
+			Fn:          func(apis.Input) (apis.Output, error) { return apis.Output{Text: "pad"}, nil },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"detect the communities of this social network",
+		"predict the toxicity of the molecule",
+		"shortest path between two nodes",
+		"rank nodes by importance",
+		"padding operation number 7",
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"bruteforce", Config{}},
+		{"taumg", Config{ExactThreshold: 16, Tau: 0.05}},
+	} {
+		f32Cfg, q8Cfg := tc.cfg, tc.cfg
+		q8Cfg.Quantize = true
+		f32, err := New(reg, f32Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q8, err := New(reg, q8Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			want := f32.TopAPIs(q, 10)
+			got := q8.TopAPIs(q, 10)
+			exact := map[string]float32{}
+			for _, h := range f32.TopAPIs(q, reg.Len()) {
+				exact[h.Name] = h.Distance
+			}
+			hit := 0
+			for _, h := range got {
+				if h.Distance != exact[h.Name] {
+					t.Fatalf("%s: %q dist %v, exact %v", tc.name, h.Name, h.Distance, exact[h.Name])
+				}
+				for _, w := range want {
+					if w.Name == h.Name {
+						hit++
+						break
+					}
+				}
+			}
+			if recall := float64(hit) / float64(len(want)); recall < 0.95 {
+				t.Errorf("%s: query %q quantized recall@10 = %.2f, want ≥ 0.95", tc.name, q, recall)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotInt8AVX2(a, b *int8, n int) int32
+// Requires n > 0 and n % 16 == 0 (the Go dispatcher guarantees both).
+// Per iteration: sign-extend 16 int8 from each input to int16 lanes,
+// multiply-accumulate pairs into 8 int32 lanes (VPMADDWD), add into the
+// running accumulator. Pairwise int16 products are ≤ 2·127², so the int32
+// lanes cannot overflow below ~66k accumulated blocks per lane.
+TEXT ·dotInt8AVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	SHRQ $4, CX
+	VPXOR Y0, Y0, Y0
+
+loop:
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y2, Y1, Y1
+	VPADDD    Y1, Y0, Y0
+	ADDQ      $16, SI
+	ADDQ      $16, DI
+	DECQ      CX
+	JNZ       loop
+
+	// Horizontal sum of the 8 int32 lanes in Y0.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xEE, X0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x55, X0, X1
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	VZEROUPPER
+	MOVL         AX, ret+24(FP)
+	RET
+
+// func cpuidex(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package vecmath
+
+// dotInt8 returns the int32 inner product of two int8 code vectors. On
+// architectures without an assembly kernel it is the unrolled Go loop.
+func dotInt8(a, b []int8) int32 { return dotInt8Generic(a, b) }
