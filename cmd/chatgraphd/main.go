@@ -15,6 +15,14 @@
 // -session-rate/-session-burst rate-limit each session's chats, and
 // -request-timeout bounds one request's lifetime.
 //
+// Durability: with -data-dir set, session lifecycle, chat transcripts,
+// uploaded graphs, and async job records persist through a CRC-framed WAL
+// plus periodic content-addressed snapshots (-snapshot-interval, -wal-sync).
+// On boot the daemon replays the log — GET /readyz answers 503 until the
+// replay lands — and on SIGTERM it checkpoints after draining, so a restart
+// (graceful or kill -9) resumes with every committed session, transcript,
+// graph, and finished job intact.
+//
 // Example:
 //
 //	chatgraphd -addr :8080 -session-ttl 30m &
@@ -37,6 +45,7 @@ import (
 	"chatgraph/internal/apis"
 	"chatgraph/internal/config"
 	"chatgraph/internal/core"
+	"chatgraph/internal/durable"
 	"chatgraph/internal/jobs"
 	"chatgraph/internal/llm"
 	"chatgraph/internal/server"
@@ -65,6 +74,11 @@ func main() {
 		jobRetention = flag.Duration("job-retention", jobs.DefaultRetention, "how long finished jobs stay pollable before eviction")
 		writeTimeout = flag.Duration("write-timeout", 0, "http.Server write timeout; must exceed -request-timeout when set (0 = none, required for long NDJSON streams)")
 		readHeader   = flag.Duration("read-header-timeout", 10*time.Second, "http.Server read-header timeout")
+
+		dataDir      = flag.String("data-dir", "", "durability directory (WAL + snapshots + graph blobs); empty = in-memory only")
+		walSync      = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none (needs -data-dir)")
+		walSyncEvery = flag.Duration("wal-sync-interval", durable.DefaultSyncInterval, "fsync cadence for -wal-sync interval")
+		snapEvery    = flag.Duration("snapshot-interval", 5*time.Minute, "how often to checkpoint state and rotate the WAL (0 = only on shutdown; needs -data-dir)")
 	)
 	flag.Parse()
 	if *writeTimeout > 0 && *writeTimeout <= *reqTimeout {
@@ -105,6 +119,28 @@ func main() {
 		log.Fatalf("chatgraphd: %v", err)
 	}
 
+	// Open the durability layer (if any) before the server exists: recovery
+	// needs the replayed state, and the server refuses gated traffic until
+	// Recover has run.
+	var dstore *durable.Store
+	var recovered *durable.State
+	if *dataDir != "" {
+		policy, perr := durable.ParseSyncPolicy(*walSync)
+		if perr != nil {
+			log.Fatalf("chatgraphd: %v", perr)
+		}
+		dstore, recovered, err = durable.Open(durable.Options{
+			Dir:          *dataDir,
+			Sync:         policy,
+			SyncInterval: *walSyncEvery,
+		})
+		if err != nil {
+			log.Fatalf("chatgraphd: %v", err)
+		}
+		log.Printf("durability: %s (wal-sync %s, %d records replayed, %d truncations)",
+			*dataDir, policy, recovered.Records, recovered.Truncations)
+	}
+
 	srv := server.New(eng, server.Options{
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
@@ -115,6 +151,7 @@ func main() {
 		JobWorkers:     *jobWorkers,
 		JobQueue:       *jobQueue,
 		JobRetention:   *jobRetention,
+		Durable:        dstore,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -151,6 +188,30 @@ func main() {
 	log.Printf("chatgraphd listening on %s (%d APIs registered, session ttl %s, max %d sessions, max-inflight %d, request timeout %s, %d job workers, job queue %d)",
 		*addr, reg.Len(), *sessionTTL, *maxSessions, *maxInFlight, *reqTimeout, *jobWorkers, *jobQueue)
 
+	// The listener is up (so /healthz and /readyz answer) but gated routes
+	// shed 503 until the recovered state is replayed into the server.
+	if dstore != nil {
+		if err := srv.Recover(recovered); err != nil {
+			log.Fatalf("chatgraphd: recover: %v", err)
+		}
+		if *snapEvery > 0 {
+			go func() {
+				ticker := time.NewTicker(*snapEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-ticker.C:
+						if err := srv.Checkpoint(); err != nil {
+							log.Printf("chatgraphd: checkpoint: %v", err)
+						}
+					}
+				}
+			}()
+		}
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("chatgraphd: %v", err)
@@ -164,6 +225,18 @@ func main() {
 		// With HTTP drained, stop the job pool: queued jobs cancel, running
 		// ones get their contexts cut, and Close waits for the workers.
 		srv.Close()
+		// Checkpoint after Close so the final job cancellations are in the
+		// manifest, then flush and release the WAL.
+		if dstore != nil {
+			if err := srv.Checkpoint(); err != nil {
+				log.Printf("chatgraphd: final checkpoint: %v", err)
+			}
+			if err := dstore.Close(); err != nil {
+				log.Printf("chatgraphd: close durable store: %v", err)
+			} else {
+				log.Println("durable state checkpointed")
+			}
+		}
 		log.Println("chatgraphd stopped")
 	}
 }

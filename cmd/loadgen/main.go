@@ -55,6 +55,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chatgraph/internal/graph"
@@ -62,22 +63,24 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "http://localhost:8080", "base URL of the chatgraphd to drive")
-		duration    = flag.Duration("duration", 5*time.Second, "how long to generate load")
-		concurrency = flag.Int("concurrency", 4, "closed-loop worker count (open loop: max outstanding requests)")
-		mode        = flag.String("mode", "closed", "load model: closed (workers) or open (fixed arrival rate)")
-		rate        = flag.Float64("rate", 50, "open-loop arrival rate in req/s")
-		chatFrac    = flag.Float64("chat-frac", 0.5, "fraction of operations that are chats (the rest are retrieves)")
-		sessions    = flag.Int("sessions", 0, "session pool size (0 = same as -concurrency)")
-		k           = flag.Int("k", 5, "retrieval k per query")
-		queries     = flag.Int("queries", 4, "queries per retrieve batch")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
-		seed        = flag.Int64("seed", 7, "workload RNG seed (graph shape, op mix)")
-		reupload    = flag.Bool("reupload", true, "send the graph JSON with every chat request (the stateless-client workload); false sends question-only chats")
-		jobsMix     = flag.Float64("jobs-mix", 0, "fraction of operations submitted as async jobs (POST /v1/jobs, polled to completion)")
-		jobsProbe   = flag.Int("jobs-probe", 0, "after the run, burst this many job submissions without polling to measure queue-full shedding (accepted ones are cancelled)")
-		jsonPath    = flag.String("json", "", "write the machine-readable report (BENCH_serving.json schema) to this file")
-		strict      = flag.Bool("strict", false, "exit 1 on any transport/status error or failed healthz//metrics probe")
+		addr         = flag.String("addr", "http://localhost:8080", "base URL of the chatgraphd to drive")
+		duration     = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		concurrency  = flag.Int("concurrency", 4, "closed-loop worker count (open loop: max outstanding requests)")
+		mode         = flag.String("mode", "closed", "load model: closed (workers) or open (fixed arrival rate)")
+		rate         = flag.Float64("rate", 50, "open-loop arrival rate in req/s")
+		chatFrac     = flag.Float64("chat-frac", 0.5, "fraction of operations that are chats (the rest are retrieves)")
+		sessions     = flag.Int("sessions", 0, "session pool size (0 = same as -concurrency)")
+		k            = flag.Int("k", 5, "retrieval k per query")
+		queries      = flag.Int("queries", 4, "queries per retrieve batch")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		seed         = flag.Int64("seed", 7, "workload RNG seed (graph shape, op mix)")
+		reupload     = flag.Bool("reupload", true, "send the graph JSON with every chat request (the stateless-client workload); false sends question-only chats")
+		jobsMix      = flag.Float64("jobs-mix", 0, "fraction of operations submitted as async jobs (POST /v1/jobs, polled to completion)")
+		jobsProbe    = flag.Int("jobs-probe", 0, "after the run, burst this many job submissions without polling to measure queue-full shedding (accepted ones are cancelled)")
+		jsonPath     = flag.String("json", "", "write the machine-readable report (BENCH_serving.json schema) to this file")
+		strict       = flag.Bool("strict", false, "exit 1 on any transport/status error or failed healthz//metrics probe")
+		readyWait    = flag.Duration("ready-wait", 0, "before the run, wait up to this long for GET /readyz to answer 200 (daemons without the endpoint count as ready)")
+		restartGrace = flag.Duration("restart-grace", 0, "retry transport errors and 503s with backoff for up to this long per request — lets a run span a daemon restart; recoveries are reported as reconnects")
 	)
 	flag.Parse()
 	if *mode != "closed" && *mode != "open" {
@@ -95,6 +98,10 @@ func main() {
 
 	base := strings.TrimRight(*addr, "/")
 	client := &http.Client{Timeout: *timeout}
+	rc := &reconnector{grace: *restartGrace}
+	if *readyWait > 0 && !waitReady(client, base, *readyWait) {
+		log.Fatalf("loadgen: daemon at %s not ready within %s", base, *readyWait)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 
 	// One modest social graph reused by every chat: the serving layer is
@@ -140,7 +147,7 @@ func main() {
 	// Session pool.
 	pool := make([]string, 0, *sessions)
 	for i := 0; i < *sessions; i++ {
-		id, err := createSession(client, base)
+		id, err := createSession(rc, client, base)
 		if err != nil {
 			log.Fatalf("loadgen: create session %d: %v", i, err)
 		}
@@ -155,7 +162,7 @@ func main() {
 	doOp := func(w *rand.Rand, worker int) {
 		start := time.Now()
 		if *jobsMix > 0 && w.Float64() < *jobsMix {
-			status, outcome, err := runJob(client, base, jobBody, *timeout)
+			status, outcome, err := runJob(rc, client, base, jobBody, *timeout)
 			run.recordJob(status, outcome, err, time.Since(start))
 			return
 		}
@@ -167,10 +174,10 @@ func main() {
 		if w.Float64() < *chatFrac {
 			op = "chat"
 			sid := pool[worker%len(pool)]
-			status, err = post(client, base+"/v1/sessions/"+sid+"/chat", chatBody)
+			status, err = rc.post(client, base+"/v1/sessions/"+sid+"/chat", chatBody, nil)
 		} else {
 			op = "retrieve"
-			status, err = post(client, base+"/v1/retrieve", retrieveBody)
+			status, err = rc.post(client, base+"/v1/retrieve", retrieveBody, nil)
 		}
 		run.record(op, status, err, time.Since(start))
 	}
@@ -236,6 +243,10 @@ func main() {
 	report.Reupload = *reupload
 	report.Cache = cacheDelta(cacheBefore, cacheAfter)
 	report.JobsMix = *jobsMix
+	report.Reconnects = int(rc.count.Load())
+	if report.Reconnects > 0 {
+		log.Printf("loadgen: %d requests recovered via retry (daemon restart or recovery window)", report.Reconnects)
+	}
 	if *jobsMix > 0 || *jobsProbe > 0 {
 		jr := run.jobsReport()
 		if *jobsProbe > 0 {
@@ -271,21 +282,87 @@ func main() {
 	}
 }
 
-func createSession(client *http.Client, base string) (string, error) {
-	resp, err := client.Post(base+"/v1/sessions", "application/json", nil)
+// reconnector is the restart-tolerance policy: with a positive grace, a
+// request that dies in transport (daemon down, connection reset mid-restart)
+// or answers 503 (daemon up but still replaying its WAL) is retried with
+// exponential backoff, each attempt a fresh request under the client's own
+// timeout, until the grace expires. count tallies requests that recovered
+// after at least one failed attempt — the report's "reconnects".
+type reconnector struct {
+	grace time.Duration
+	count atomic.Int64
+}
+
+// retryable classifies one attempt: transport errors and 503 are the two
+// shapes a restarting daemon produces.
+func retryable(status int, err error) bool {
+	return err != nil || status == http.StatusServiceUnavailable
+}
+
+// do runs op, retrying while op reports a retryable failure and the grace
+// period has budget. It returns op's final verdict either way; a recovery
+// after ≥1 failure bumps the reconnect counter.
+func (rc *reconnector) do(op func() (retry bool, err error)) error {
+	retry, err := op()
+	if !retry || rc.grace <= 0 {
+		return err
+	}
+	deadline := time.Now().Add(rc.grace)
+	backoff := 50 * time.Millisecond
+	for time.Now().Before(deadline) {
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		if retry, err = op(); !retry {
+			if err == nil {
+				rc.count.Add(1)
+			}
+			return err
+		}
+	}
+	return err
+}
+
+// post posts body to url, retrying per the grace policy; when out is non-nil
+// a 2xx reply body is decoded into it.
+func (rc *reconnector) post(client *http.Client, url string, body []byte, out any) (status int, err error) {
+	err = rc.do(func() (bool, error) {
+		resp, perr := client.Post(url, "application/json", bytes.NewReader(body))
+		if perr != nil {
+			status = 0
+			return true, perr
+		}
+		defer resp.Body.Close()
+		status = resp.StatusCode
+		if status == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			return true, nil
+		}
+		if out != nil && status >= 200 && status < 300 {
+			if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+				return false, fmt.Errorf("decode %s reply: %w", url, derr)
+			}
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return false, nil
+	})
 	if err != nil {
-		return "", err
+		return 0, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		body, _ := io.ReadAll(resp.Body)
-		return "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
-	}
+	return status, nil
+}
+
+func createSession(rc *reconnector, client *http.Client, base string) (string, error) {
 	var info struct {
 		SessionID string `json:"session_id"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+	status, err := rc.post(client, base+"/v1/sessions", nil, &info)
+	if err != nil {
 		return "", err
+	}
+	if status != http.StatusCreated {
+		return "", fmt.Errorf("status %d", status)
 	}
 	if info.SessionID == "" {
 		return "", fmt.Errorf("empty session_id")
@@ -293,14 +370,27 @@ func createSession(client *http.Client, base string) (string, error) {
 	return info.SessionID, nil
 }
 
-func post(client *http.Client, url string, body []byte) (status int, err error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
+// waitReady blocks until GET /readyz answers 200 — or 404, which marks a
+// daemon predating the readiness probe and therefore born ready. Transport
+// errors (daemon still booting or restarting) and 503 (recovery replay in
+// progress) keep polling until the wait expires.
+func waitReady(client *http.Client, base string, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			status := resp.StatusCode
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if status == http.StatusOK || status == http.StatusNotFound {
+				return true
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(250 * time.Millisecond)
 	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-	return resp.StatusCode, nil
 }
 
 // jobInfo is the slice of the /v1/jobs wire schema loadgen needs.
@@ -317,49 +407,59 @@ func terminalJobState(s string) bool {
 // runJob submits one async job and polls it to a terminal state. status is
 // the submission status (for shed/error accounting); outcome is the job's
 // terminal state, or "stuck" if it never settled within timeout.
-func runJob(client *http.Client, base string, body []byte, timeout time.Duration) (status int, outcome string, err error) {
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+func runJob(rc *reconnector, client *http.Client, base string, body []byte, timeout time.Duration) (status int, outcome string, err error) {
+	var info jobInfo
+	status, err = rc.post(client, base+"/v1/jobs", body, &info)
 	if err != nil {
 		return 0, "", err
 	}
-	var info jobInfo
-	decErr := json.NewDecoder(resp.Body).Decode(&info)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return resp.StatusCode, "", nil
+	if status != http.StatusAccepted {
+		return status, "", nil
 	}
-	if decErr != nil || info.JobID == "" {
-		return resp.StatusCode, "", fmt.Errorf("job accepted but reply unreadable: %v", decErr)
+	if info.JobID == "" {
+		return status, "", fmt.Errorf("job accepted but reply carried no job_id")
 	}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		st, err := getJobState(client, base, info.JobID)
+		st, err := getJobState(rc, client, base, info.JobID)
 		if err != nil {
-			return resp.StatusCode, "", err
+			return status, "", err
 		}
 		if terminalJobState(st) {
-			return resp.StatusCode, st, nil
+			return status, st, nil
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	return resp.StatusCode, "stuck", nil
+	return status, "stuck", nil
 }
 
-func getJobState(client *http.Client, base, id string) (string, error) {
-	resp, err := client.Get(base + "/v1/jobs/" + id)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return "", fmt.Errorf("poll job %s: status %d: %s", id, resp.StatusCode, body)
-	}
-	var info jobInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return "", err
-	}
-	return info.State, nil
+func getJobState(rc *reconnector, client *http.Client, base, id string) (state string, err error) {
+	err = rc.do(func() (bool, error) {
+		resp, gerr := client.Get(base + "/v1/jobs/" + id)
+		if gerr != nil {
+			return true, gerr
+		}
+		defer resp.Body.Close()
+		// 503 is the recovery window; 404 can be the same window seen from
+		// the ungated poll route — the job exists in the WAL but has not
+		// been restored yet. Both settle once replay finishes, so both are
+		// retryable under a restart grace.
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusNotFound {
+			body, _ := io.ReadAll(resp.Body)
+			return true, fmt.Errorf("poll job %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			return false, fmt.Errorf("poll job %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		var info jobInfo
+		if derr := json.NewDecoder(resp.Body).Decode(&info); derr != nil {
+			return false, derr
+		}
+		state = info.State
+		return false, nil
+	})
+	return state, err
 }
 
 // jobProbe bursts n concurrent job submissions without polling — pure
@@ -672,23 +772,27 @@ type JobsReport struct {
 // versioned so the perf-trajectory tooling can evolve it; the reupload,
 // cache, and jobs fields are additive.
 type Report struct {
-	Schema      string              `json:"schema"`
-	Target      string              `json:"target"`
-	Mode        string              `json:"mode"`
-	DurationS   float64             `json:"duration_s"`
-	Concurrency int                 `json:"concurrency"`
-	RateRPS     float64             `json:"rate_rps,omitempty"`
-	ChatFrac    float64             `json:"chat_fraction"`
-	Sessions    int                 `json:"sessions"`
-	Reupload    bool                `json:"reupload"`
-	JobsMix     float64             `json:"jobs_mix,omitempty"`
-	Drops       int                 `json:"open_loop_drops,omitempty"`
-	HealthzOK   bool                `json:"healthz_ok"`
-	MetricsOK   bool                `json:"metrics_ok"`
-	Total       OpReport            `json:"total"`
-	Ops         map[string]OpReport `json:"ops"`
-	Cache       *CacheReport        `json:"cache,omitempty"`
-	Jobs        *JobsReport         `json:"jobs,omitempty"`
+	Schema      string  `json:"schema"`
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"`
+	DurationS   float64 `json:"duration_s"`
+	Concurrency int     `json:"concurrency"`
+	RateRPS     float64 `json:"rate_rps,omitempty"`
+	ChatFrac    float64 `json:"chat_fraction"`
+	Sessions    int     `json:"sessions"`
+	Reupload    bool    `json:"reupload"`
+	JobsMix     float64 `json:"jobs_mix,omitempty"`
+	Drops       int     `json:"open_loop_drops,omitempty"`
+	// Reconnects counts requests that failed in transport (or answered 503)
+	// and then succeeded on a -restart-grace retry — nonzero means the run
+	// spanned a daemon restart or recovery window and rode it out.
+	Reconnects int                 `json:"reconnects"`
+	HealthzOK  bool                `json:"healthz_ok"`
+	MetricsOK  bool                `json:"metrics_ok"`
+	Total      OpReport            `json:"total"`
+	Ops        map[string]OpReport `json:"ops"`
+	Cache      *CacheReport        `json:"cache,omitempty"`
+	Jobs       *JobsReport         `json:"jobs,omitempty"`
 }
 
 func summarize(lat []float64, requests, ok, shed, errs int, elapsed time.Duration) OpReport {
@@ -789,6 +893,9 @@ func (rep Report) print(w io.Writer) {
 	row("total", rep.Total)
 	if rep.Drops > 0 {
 		fmt.Fprintf(w, "open-loop arrivals dropped at the client (all %d slots busy): %d\n", rep.Concurrency, rep.Drops)
+	}
+	if rep.Reconnects > 0 {
+		fmt.Fprintf(w, "reconnects: %d requests rode out a restart/recovery window via retry\n", rep.Reconnects)
 	}
 	if c := rep.Cache; c != nil {
 		fmt.Fprintf(w, "invoke cache %d hits / %d misses (%.1f%%) · graph intern %d hits / %d misses (%.1f%%) · reupload=%v\n",

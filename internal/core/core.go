@@ -98,13 +98,41 @@ type Session struct {
 	// never across an Ask.
 	histMu  sync.Mutex
 	history []Turn
+	// turnObs, when set, observes every completed turn (with its dense
+	// history index) after it is recorded — the durability layer's hook.
+	turnObs func(index int, t Turn)
 }
 
-// appendTurn records a completed exchange.
+// appendTurn records a completed exchange and notifies the turn observer.
+// The observer runs outside histMu (History from inside it must not
+// deadlock); Ask serialization via askMu keeps observed indexes in order.
 func (s *Session) appendTurn(t Turn) {
 	s.histMu.Lock()
-	defer s.histMu.Unlock()
+	idx := len(s.history)
 	s.history = append(s.history, t)
+	obs := s.turnObs
+	s.histMu.Unlock()
+	if obs != nil {
+		obs(idx, t)
+	}
+}
+
+// SetTurnObserver registers fn to be called after every completed turn with
+// the turn's dense index in the history. One observer per session; nil
+// clears it. Restored history (RestoreHistory) is not observed — it was
+// already durable.
+func (s *Session) SetTurnObserver(fn func(index int, t Turn)) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	s.turnObs = fn
+}
+
+// RestoreHistory appends recovered turns to the session history without
+// notifying the turn observer — the recovery path's bulk load.
+func (s *Session) RestoreHistory(turns []Turn) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	s.history = append(s.history, turns...)
 }
 
 // NewSession builds a fresh Engine from cfg and returns a conversation over
@@ -378,6 +406,10 @@ func SeedMoleculeDB(env *apis.Env, n int, rng *rand.Rand) {
 		env.MolDB.Add(fmt.Sprintf("mol_%03d", i), graph.Molecule(size, rng))
 	}
 }
+
+// ParseKind inverts graph.Kind.String; unrecognized names (including the
+// empty string) are KindUnknown. Transcript and WAL replay use it.
+func ParseKind(s string) graph.Kind { return parseKindName(s) }
 
 // parseKindName inverts graph.Kind.String for transcript round trips.
 func parseKindName(s string) graph.Kind {

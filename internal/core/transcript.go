@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"chatgraph/internal/chain"
@@ -49,17 +50,37 @@ func (s *Session) WriteTranscript(w io.Writer) error {
 	return nil
 }
 
-// SaveTranscript writes the history to a file.
+// SaveTranscript writes the history to a file, crash-safely: the
+// transcript lands in a same-directory temp file that is fsynced and
+// renamed over path, so a crash mid-save leaves the previous transcript
+// intact instead of a torn half.
 func (s *Session) SaveTranscript(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".transcript-*")
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	defer f.Close()
+	tmp := f.Name()
+	cleanup := func() { os.Remove(tmp) } //nolint:errcheck
 	if err := s.WriteTranscript(f); err != nil {
+		f.Close()
+		cleanup()
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		cleanup()
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }
 
 // LoadTranscript reads a transcript written by SaveTranscript and appends

@@ -1,0 +1,281 @@
+// Package durable is the persistence subsystem: an append-only WAL of
+// CRC32C-framed JSON records for session lifecycle events, chat transcript
+// entries, and job submissions/terminal states; content-addressed graph
+// blobs (written once, never rewritten); and periodic snapshot manifests
+// after which the WAL is rotated and old segments pruned. On boot, Open
+// loads the latest valid snapshot, replays every surviving WAL segment on
+// top of it (truncating a torn tail), and hands the merged State to the
+// serving layer so a restart — graceful or kill -9 — loses nothing that
+// reached the log.
+//
+// Identity note: the in-memory graph hashes (graph.ContentHash/ExactHash)
+// are seeded with per-process entropy as cache-poisoning hardening, so they
+// cannot name anything on disk. Durable graph identity is the SHA-256 of
+// the canonical JSON wire form — a deliberate stable-key policy, echoing
+// the entity-canonicalization lesson from the cross-lingual entity-linking
+// work: durable identity is chosen, not inherited from process lifetime.
+package durable
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// RecordType tags one WAL record's payload shape.
+type RecordType string
+
+// The record types the serving layer appends.
+const (
+	// RecSessionCreate marks a v1 session coming alive.
+	RecSessionCreate RecordType = "session_create"
+	// RecSessionDelete marks an explicit session delete (TTL expiry is not
+	// logged; recovery re-applies the TTL against record timestamps).
+	RecSessionDelete RecordType = "session_delete"
+	// RecTurn is one completed chat exchange on a session.
+	RecTurn RecordType = "turn"
+	// RecGraph marks a graph blob committed to the blob store.
+	RecGraph RecordType = "graph"
+	// RecJobSubmit is an async job accepted into the queue.
+	RecJobSubmit RecordType = "job_submit"
+	// RecJobDone is an async job's terminal transition (done, failed, or
+	// cancelled), carrying the result or error.
+	RecJobDone RecordType = "job_done"
+)
+
+// Record is the envelope every WAL frame carries: a type tag, a timestamp,
+// and exactly one populated payload field.
+type Record struct {
+	Type RecordType `json:"t"`
+	// TS is the append wall-clock time in unix nanoseconds. Recovery uses
+	// it to approximate each session's idle clock for TTL filtering.
+	TS      int64          `json:"ts"`
+	Session *SessionRecord `json:"session,omitempty"`
+	Turn    *TurnRecord    `json:"turn,omitempty"`
+	Graph   *GraphRecord   `json:"graph,omitempty"`
+	Job     *JobRecord     `json:"job,omitempty"`
+}
+
+// SessionRecord identifies a session for create/delete events.
+type SessionRecord struct {
+	ID string `json:"id"`
+	// CreatedUnixNS is set on RecSessionCreate only.
+	CreatedUnixNS int64 `json:"created_unix_ns,omitempty"`
+}
+
+// TurnRecord is one transcript entry in the same wire shape the transcript
+// files use: the chain is stored in its text form and re-parsed on replay.
+type TurnRecord struct {
+	SessionID string `json:"session_id"`
+	// Index is the turn's dense position in the session history; replay
+	// appends a turn only when Index is the next free slot, which makes
+	// records that overlap a snapshot harmless.
+	Index     int    `json:"index"`
+	Question  string `json:"question"`
+	Kind      string `json:"kind"`
+	Chain     string `json:"chain"`
+	Answer    string `json:"answer"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// GraphRecord marks a content-addressed blob as committed. SHA is the
+// SHA-256 hex of the graph's canonical JSON wire form — the blob filename.
+type GraphRecord struct {
+	SHA string `json:"sha"`
+}
+
+// JobRecord is an async job's durable form, written once at submission
+// (state "queued") and once at the terminal transition (with result or
+// error). A job whose submit record survives a crash without a matching
+// terminal record is restored as failed ("interrupted by restart").
+type JobRecord struct {
+	ID       string `json:"id"`
+	Priority string `json:"priority"`
+	Question string `json:"question,omitempty"`
+	Chain    string `json:"chain,omitempty"`
+	// GraphSHA names the job's uploaded graph blob, when it had one.
+	GraphSHA string `json:"graph_sha,omitempty"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	// Result is the job's wire-form result (the chat response JSON) for
+	// state "done".
+	Result          json.RawMessage `json:"result,omitempty"`
+	SubmittedUnixNS int64           `json:"submitted_unix_ns,omitempty"`
+	StartedUnixNS   int64           `json:"started_unix_ns,omitempty"`
+	FinishedUnixNS  int64           `json:"finished_unix_ns,omitempty"`
+}
+
+// ManifestSession is one live session's full state inside a snapshot.
+type ManifestSession struct {
+	ID             string       `json:"id"`
+	CreatedUnixNS  int64        `json:"created_unix_ns"`
+	LastUsedUnixNS int64        `json:"last_used_unix_ns"`
+	Turns          []TurnRecord `json:"turns,omitempty"`
+}
+
+// Manifest is one snapshot: the full serving state at a point in time plus
+// the WAL sequence number replay must resume from. Graph blobs are not
+// embedded — they are content-addressed files the manifest references by
+// SHA.
+type Manifest struct {
+	Version int `json:"version"`
+	// Seq is the first WAL segment whose records are NOT fully covered by
+	// this manifest: recovery loads the manifest, then replays segments
+	// with sequence >= Seq (overlapping records re-apply idempotently).
+	Seq         uint64            `json:"seq"`
+	TakenUnixNS int64             `json:"taken_unix_ns"`
+	Sessions    []ManifestSession `json:"sessions"`
+	Graphs      []string          `json:"graphs"`
+	Jobs        []JobRecord       `json:"jobs"`
+}
+
+// manifestVersion guards the snapshot schema.
+const manifestVersion = 1
+
+// SessionState is one session's recovered state.
+type SessionState struct {
+	ID       string
+	Created  time.Time
+	LastUsed time.Time
+	Turns    []TurnRecord
+}
+
+// State is the merged outcome of snapshot load plus WAL replay — everything
+// the serving layer needs to rebuild itself.
+type State struct {
+	// Sessions maps session ID to its recovered state (creates minus
+	// deletes; TTL filtering is the caller's policy, applied against
+	// LastUsed).
+	Sessions map[string]*SessionState
+	// Graphs lists committed blob SHAs in first-seen order.
+	Graphs []string
+	// Jobs maps job ID to its latest record; non-terminal entries are jobs
+	// whose submit record survived but whose terminal record did not.
+	Jobs map[string]*JobRecord
+
+	// Records counts replayed WAL records; Truncations counts segments
+	// whose tail (or body) had to be cut at the first invalid frame.
+	Records     int
+	Truncations int
+
+	graphSeen map[string]bool
+}
+
+// NewState returns an empty recovered state (what a fresh data dir yields).
+func NewState() *State {
+	return &State{
+		Sessions:  make(map[string]*SessionState),
+		Jobs:      make(map[string]*JobRecord),
+		graphSeen: make(map[string]bool),
+	}
+}
+
+// loadManifest seeds the state from a snapshot.
+func (st *State) loadManifest(m *Manifest) {
+	for i := range m.Sessions {
+		ms := &m.Sessions[i]
+		st.Sessions[ms.ID] = &SessionState{
+			ID:       ms.ID,
+			Created:  time.Unix(0, ms.CreatedUnixNS),
+			LastUsed: time.Unix(0, ms.LastUsedUnixNS),
+			Turns:    append([]TurnRecord(nil), ms.Turns...),
+		}
+	}
+	for _, sha := range m.Graphs {
+		st.addGraph(sha)
+	}
+	for i := range m.Jobs {
+		j := m.Jobs[i]
+		st.Jobs[j.ID] = &j
+	}
+}
+
+func (st *State) addGraph(sha string) {
+	if sha == "" || st.graphSeen[sha] {
+		return
+	}
+	st.graphSeen[sha] = true
+	st.Graphs = append(st.Graphs, sha)
+}
+
+// Apply merges one replayed record into the state. Every case is
+// idempotent, so records that overlap the snapshot (or a double-applied
+// rotation window) cannot corrupt the merge.
+func (st *State) Apply(rec *Record) {
+	st.Records++
+	ts := time.Unix(0, rec.TS)
+	switch rec.Type {
+	case RecSessionCreate:
+		if rec.Session == nil {
+			return
+		}
+		if _, ok := st.Sessions[rec.Session.ID]; ok {
+			return
+		}
+		created := ts
+		if rec.Session.CreatedUnixNS != 0 {
+			created = time.Unix(0, rec.Session.CreatedUnixNS)
+		}
+		st.Sessions[rec.Session.ID] = &SessionState{
+			ID:       rec.Session.ID,
+			Created:  created,
+			LastUsed: ts,
+		}
+	case RecSessionDelete:
+		if rec.Session == nil {
+			return
+		}
+		delete(st.Sessions, rec.Session.ID)
+	case RecTurn:
+		if rec.Turn == nil {
+			return
+		}
+		s, ok := st.Sessions[rec.Turn.SessionID]
+		if !ok {
+			return
+		}
+		// Dense-index append: a turn replayed twice (snapshot overlap) or
+		// out of order lands on an occupied slot and is dropped.
+		if rec.Turn.Index == len(s.Turns) {
+			s.Turns = append(s.Turns, *rec.Turn)
+		}
+		if ts.After(s.LastUsed) {
+			s.LastUsed = ts
+		}
+	case RecGraph:
+		if rec.Graph == nil {
+			return
+		}
+		st.addGraph(rec.Graph.SHA)
+	case RecJobSubmit:
+		if rec.Job == nil {
+			return
+		}
+		if _, ok := st.Jobs[rec.Job.ID]; ok {
+			return
+		}
+		j := *rec.Job
+		st.Jobs[rec.Job.ID] = &j
+	case RecJobDone:
+		if rec.Job == nil {
+			return
+		}
+		// The terminal record always wins, but keep submission metadata the
+		// terminal record does not re-carry.
+		j := *rec.Job
+		if prev, ok := st.Jobs[j.ID]; ok {
+			if j.Question == "" {
+				j.Question = prev.Question
+			}
+			if j.Chain == "" {
+				j.Chain = prev.Chain
+			}
+			if j.GraphSHA == "" {
+				j.GraphSHA = prev.GraphSHA
+			}
+			if j.SubmittedUnixNS == 0 {
+				j.SubmittedUnixNS = prev.SubmittedUnixNS
+			}
+		}
+		st.Jobs[j.ID] = &j
+	}
+}

@@ -1,0 +1,694 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chatgraph/internal/graph"
+	"chatgraph/internal/metrics"
+)
+
+// SyncPolicy selects how eagerly WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs the active segment from a background ticker —
+	// the default: bounded data loss (one interval) at near-SyncNone
+	// append latency.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: no committed record is lost
+	// even to an OS crash, at the cost of one fsync per record.
+	SyncAlways
+	// SyncNone never fsyncs explicitly. Records still survive a process
+	// kill -9 (the kernel has the written bytes); only an OS crash or
+	// power loss can eat the un-flushed tail.
+	SyncNone
+)
+
+// String names the policy for flags and logs.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseSyncPolicy reads a -wal-sync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "", "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown sync policy %q (want always, interval, or none)", s)
+	}
+}
+
+// DefaultSyncInterval is the background fsync cadence for SyncInterval.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; Open creates it (plus wal/, blobs/,
+	// snap/) as needed.
+	Dir string
+	// Sync is the WAL fsync policy (zero value → SyncInterval).
+	Sync SyncPolicy
+	// SyncInterval is the background fsync cadence under SyncInterval
+	// (0 → DefaultSyncInterval).
+	SyncInterval time.Duration
+	// Metrics is the registry the store instruments into (nil →
+	// metrics.Default()).
+	Metrics *metrics.Registry
+}
+
+// storeMetrics are the persistence instruments.
+type storeMetrics struct {
+	appends      *metrics.Counter
+	appendErrs   *metrics.Counter
+	walBytes     *metrics.Counter
+	fsyncs       *metrics.Counter
+	snapshots    *metrics.Counter
+	snapshotErrs *metrics.Counter
+	blobsWritten *metrics.Counter
+	truncations  *metrics.Counter
+	activeSeg    *metrics.Gauge
+	snapSessions *metrics.Gauge
+	snapGraphs   *metrics.Gauge
+	snapJobs     *metrics.Gauge
+}
+
+func newStoreMetrics(reg *metrics.Registry, s *Store) *storeMetrics {
+	m := &storeMetrics{
+		appends: reg.Counter("chatgraph_wal_appends_total",
+			"Records appended to the WAL.", nil),
+		appendErrs: reg.Counter("chatgraph_wal_append_errors_total",
+			"WAL appends that failed to reach the segment file.", nil),
+		walBytes: reg.Counter("chatgraph_wal_bytes_total",
+			"Bytes written to WAL segments (frames incl. headers).", nil),
+		fsyncs: reg.Counter("chatgraph_wal_fsyncs_total",
+			"fsync calls issued on the active WAL segment.", nil),
+		snapshots: reg.Counter("chatgraph_snapshots_total",
+			"Snapshot manifests written.", nil),
+		snapshotErrs: reg.Counter("chatgraph_snapshot_errors_total",
+			"Snapshot attempts that failed.", nil),
+		blobsWritten: reg.Counter("chatgraph_blobs_written_total",
+			"Content-addressed graph blobs written (first sight of a content).", nil),
+		truncations: reg.Counter("chatgraph_replay_truncations_total",
+			"WAL segments cut at the first invalid frame during replay.", nil),
+		activeSeg: reg.Gauge("chatgraph_wal_active_segment",
+			"Sequence number of the open WAL segment.", nil),
+		snapSessions: reg.Gauge("chatgraph_snapshot_sessions",
+			"Sessions captured by the latest snapshot.", nil),
+		snapGraphs: reg.Gauge("chatgraph_snapshot_graphs",
+			"Graph blobs referenced by the latest snapshot.", nil),
+		snapJobs: reg.Gauge("chatgraph_snapshot_jobs",
+			"Job records captured by the latest snapshot.", nil),
+	}
+	reg.GaugeFunc("chatgraph_replay_duration_seconds",
+		"Wall-clock time boot recovery spent loading the snapshot and replaying the WAL.", nil,
+		func() float64 { return math.Float64frombits(s.replayDur.Load()) })
+	reg.GaugeFunc("chatgraph_snapshot_last_unix",
+		"Unix time of the latest snapshot (0 = none since boot).", nil,
+		func() float64 { return float64(s.lastSnap.Load()) })
+	return m
+}
+
+// Store owns one data directory: the active WAL segment, the blob store,
+// and the snapshot manifests. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+	met  *storeMetrics
+
+	// mu guards the active segment (file handle, sequence, dirty flag) and
+	// snapshot rotation.
+	mu      sync.Mutex
+	seg     *os.File
+	segSeq  uint64
+	dirty   bool
+	closed  bool
+	snapSeq uint64
+
+	// blobMu guards the blob indexes. blobByExact short-circuits repeat
+	// uploads of a content this process has already persisted without
+	// re-marshaling; blobSHAs is every blob known committed on disk, the
+	// set the next manifest references.
+	blobMu      sync.Mutex
+	blobByExact map[graph.ExactHash]string
+	blobSHAs    map[string]bool
+
+	stopSync chan struct{}
+	syncWG   sync.WaitGroup
+
+	replayDur atomic.Uint64 // float64 bits
+	lastSnap  atomic.Int64  // unix seconds
+}
+
+func (s *Store) walDir() string  { return filepath.Join(s.dir, "wal") }
+func (s *Store) blobDir() string { return filepath.Join(s.dir, "blobs") }
+func (s *Store) snapDir() string { return filepath.Join(s.dir, "snap") }
+
+func segName(seq uint64) string  { return fmt.Sprintf("seg-%08d.wal", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.json", seq) }
+
+// parseSeq extracts the sequence number from a seg-/snap- filename.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open initializes the data directory, recovers the persisted state (latest
+// valid snapshot + WAL replay with torn-tail truncation), opens a fresh WAL
+// segment for this process's appends, and returns both. A brand-new
+// directory yields an empty State.
+func Open(opts Options) (*Store, *State, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("durable: data dir is required")
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	s := &Store{
+		dir:         opts.Dir,
+		opts:        opts,
+		blobByExact: make(map[graph.ExactHash]string),
+		blobSHAs:    make(map[string]bool),
+		stopSync:    make(chan struct{}),
+	}
+	s.met = newStoreMetrics(reg, s)
+	for _, d := range []string{s.dir, s.walDir(), s.blobDir(), s.snapDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("durable: %w", err)
+		}
+	}
+
+	start := time.Now()
+	st, maxSeq, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.replayDur.Store(math.Float64bits(time.Since(start).Seconds()))
+
+	// Index the blobs the recovered state references so PersistGraph does
+	// not rewrite (or re-log) a content that is already committed.
+	s.blobMu.Lock()
+	for _, sha := range st.Graphs {
+		s.blobSHAs[sha] = true
+	}
+	s.blobMu.Unlock()
+
+	// Appends from this incarnation go to a fresh segment — replayed
+	// segments are never appended to, so their valid prefix is immutable.
+	if err := s.openSegment(maxSeq + 1); err != nil {
+		return nil, nil, err
+	}
+	if s.opts.Sync == SyncInterval {
+		s.syncWG.Add(1)
+		go s.syncLoop()
+	}
+	return s, st, nil
+}
+
+// recover loads the newest parseable snapshot and replays every WAL segment
+// at or after its sequence. It returns the merged state and the highest
+// sequence number seen (snapshot or segment), so the caller can open the
+// next segment.
+func (s *Store) recover() (*State, uint64, error) {
+	st := NewState()
+	var maxSeq uint64
+
+	// Newest valid snapshot wins; older ones are only fallbacks for a
+	// manifest torn mid-write by a crash (the temp+rename protocol makes
+	// that nearly impossible, but reading is cheap insurance).
+	snaps, err := os.ReadDir(s.snapDir())
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: %w", err)
+	}
+	var snapSeqs []uint64
+	for _, e := range snaps {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".json"); ok {
+			snapSeqs = append(snapSeqs, seq)
+		}
+	}
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+	for _, seq := range snapSeqs {
+		data, err := os.ReadFile(filepath.Join(s.snapDir(), snapName(seq)))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if json.Unmarshal(data, &m) != nil || m.Version != manifestVersion {
+			continue
+		}
+		st.loadManifest(&m)
+		s.snapSeq = m.Seq
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		break
+	}
+
+	segs, err := os.ReadDir(s.walDir())
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: %w", err)
+	}
+	var segSeqs []uint64
+	for _, e := range segs {
+		if seq, ok := parseSeq(e.Name(), "seg-", ".wal"); ok {
+			segSeqs = append(segSeqs, seq)
+		}
+	}
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	for _, seq := range segSeqs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq < s.snapSeq {
+			// Fully covered by the snapshot; a crash between manifest write
+			// and pruning leaves these behind.
+			continue
+		}
+		path := filepath.Join(s.walDir(), segName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("durable: %w", err)
+		}
+		payloads, valid, decErr := DecodeFrames(data)
+		for _, p := range payloads {
+			var rec Record
+			if json.Unmarshal(p, &rec) != nil {
+				// An intact frame with an unreadable record is a version
+				// skew problem, not corruption; skip it.
+				continue
+			}
+			st.Apply(&rec)
+		}
+		if decErr != nil {
+			// Torn tail (the expected crash artifact on the last segment)
+			// or mid-file corruption: keep the valid prefix, cut the rest so
+			// the next recovery does not re-detect it.
+			st.Truncations++
+			s.met.truncations.Inc()
+			if valid < len(data) {
+				if err := os.Truncate(path, int64(valid)); err != nil {
+					return nil, 0, fmt.Errorf("durable: truncate torn segment %s: %w", path, err)
+				}
+			}
+		}
+	}
+	return st, maxSeq, nil
+}
+
+// openSegment creates and syncs the new active segment. Caller must not
+// hold mu (Open) or must hold it (rotation) — it touches only seg/segSeq,
+// which the caller owns at both call sites.
+func (s *Store) openSegment(seq uint64) error {
+	path := filepath.Join(s.walDir(), segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	s.met.fsyncs.Inc()
+	if err := syncDir(s.walDir()); err != nil {
+		f.Close()
+		return err
+	}
+	s.seg = f
+	s.segSeq = seq
+	s.met.activeSeg.Set(int64(seq))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives an OS crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (s *Store) syncLoop() {
+	defer s.syncWG.Done()
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSync:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if s.dirty && !s.closed {
+				s.dirty = false
+				s.seg.Sync() //nolint:errcheck // best effort; append errors are counted
+				s.met.fsyncs.Inc()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Append frames rec and writes it to the active segment under the
+// configured sync policy. The serving layer treats append failures as
+// log-and-continue (counted in chatgraph_wal_append_errors_total): losing
+// durability must not take down serving.
+func (s *Store) Append(rec *Record) error {
+	if rec.TS == 0 {
+		rec.TS = time.Now().UnixNano()
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		s.met.appendErrs.Inc()
+		return fmt.Errorf("durable: encode record: %w", err)
+	}
+	if len(payload) > MaxRecordLen {
+		s.met.appendErrs.Inc()
+		return fmt.Errorf("durable: record too large (%d bytes)", len(payload))
+	}
+	frame := AppendFrame(nil, payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.met.appendErrs.Inc()
+		return fmt.Errorf("durable: store closed")
+	}
+	if _, err := s.seg.Write(frame); err != nil {
+		s.met.appendErrs.Inc()
+		return fmt.Errorf("durable: append: %w", err)
+	}
+	s.met.appends.Inc()
+	s.met.walBytes.Add(uint64(len(frame)))
+	switch s.opts.Sync {
+	case SyncAlways:
+		if err := s.seg.Sync(); err != nil {
+			s.met.appendErrs.Inc()
+			return fmt.Errorf("durable: fsync: %w", err)
+		}
+		s.met.fsyncs.Inc()
+	case SyncInterval:
+		s.dirty = true
+	}
+	return nil
+}
+
+// Typed append helpers — one per record type the serving layer emits.
+
+// LogSessionCreate records a session coming alive.
+func (s *Store) LogSessionCreate(id string, created time.Time) error {
+	return s.Append(&Record{Type: RecSessionCreate, Session: &SessionRecord{ID: id, CreatedUnixNS: created.UnixNano()}})
+}
+
+// LogSessionDelete records an explicit session delete.
+func (s *Store) LogSessionDelete(id string) error {
+	return s.Append(&Record{Type: RecSessionDelete, Session: &SessionRecord{ID: id}})
+}
+
+// LogTurn records one completed chat exchange.
+func (s *Store) LogTurn(t TurnRecord) error {
+	return s.Append(&Record{Type: RecTurn, Turn: &t})
+}
+
+// LogJobSubmit records an accepted async job.
+func (s *Store) LogJobSubmit(j JobRecord) error {
+	return s.Append(&Record{Type: RecJobSubmit, Job: &j})
+}
+
+// LogJobDone records a job's terminal transition.
+func (s *Store) LogJobDone(j JobRecord) error {
+	return s.Append(&Record{Type: RecJobDone, Job: &j})
+}
+
+// PersistGraph commits g to the blob store and returns its durable identity
+// (SHA-256 hex of the canonical JSON wire form). The blob is written once —
+// repeat uploads of the same content return the recorded SHA without
+// touching disk — and a graph record is appended to the WAL on first sight
+// so recovery knows the blob is live. The in-memory exact hash only
+// short-circuits re-marshaling; it never names anything on disk (it is
+// per-process seeded by design).
+func (s *Store) PersistGraph(g *graph.Graph) (string, error) {
+	if g == nil {
+		return "", nil
+	}
+	exact := g.ExactHash()
+	s.blobMu.Lock()
+	defer s.blobMu.Unlock()
+	if sha, ok := s.blobByExact[exact]; ok {
+		return sha, nil
+	}
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return "", fmt.Errorf("durable: encode graph: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	sha := hex.EncodeToString(sum[:])
+	if !s.blobSHAs[sha] {
+		if err := writeFileAtomic(filepath.Join(s.blobDir(), sha+".json"), data); err != nil {
+			return "", err
+		}
+		if err := syncDir(s.blobDir()); err != nil {
+			return "", err
+		}
+		s.met.blobsWritten.Inc()
+		s.blobSHAs[sha] = true
+		// Log after the blob is durable, so a graph record never references
+		// a blob that a crash could have eaten.
+		if err := s.Append(&Record{Type: RecGraph, Graph: &GraphRecord{SHA: sha}}); err != nil {
+			return "", err
+		}
+	}
+	s.blobByExact[exact] = sha
+	return sha, nil
+}
+
+// LoadGraph reads a blob back into a graph, verifying its content hash
+// matches the filename it was addressed by.
+func (s *Store) LoadGraph(sha string) (*graph.Graph, error) {
+	data, err := os.ReadFile(filepath.Join(s.blobDir(), sha+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != sha {
+		return nil, fmt.Errorf("durable: blob %s content does not match its address", sha)
+	}
+	g, err := graph.ParseJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("durable: blob %s: %w", sha, err)
+	}
+	return g, nil
+}
+
+// BlobSHAs returns every blob committed (written or recovered) so far, the
+// set a manifest references.
+func (s *Store) BlobSHAs() []string {
+	s.blobMu.Lock()
+	defer s.blobMu.Unlock()
+	out := make([]string, 0, len(s.blobSHAs))
+	for sha := range s.blobSHAs {
+		out = append(out, sha)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot checkpoints the serving state: it rotates the WAL to a fresh
+// segment, asks build for the live sessions and jobs, writes the manifest
+// atomically, and prunes WAL segments and snapshots the new manifest
+// supersedes.
+//
+// Ordering makes this crash-safe at every step: the rotation happens
+// *before* build runs, so the manifest is a superset of every record in the
+// pruned segments (records landing in the new segment during build are
+// replayed on top of the manifest, which is idempotent). A crash after
+// rotation but before the manifest write just leaves one extra segment to
+// replay.
+func (s *Store) Snapshot(build func() ([]ManifestSession, []JobRecord)) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("durable: store closed")
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.mu.Unlock()
+		s.met.snapshotErrs.Inc()
+		return fmt.Errorf("durable: sync before rotate: %w", err)
+	}
+	s.met.fsyncs.Inc()
+	if err := s.seg.Close(); err != nil {
+		s.mu.Unlock()
+		s.met.snapshotErrs.Inc()
+		return fmt.Errorf("durable: close segment: %w", err)
+	}
+	newSeq := s.segSeq + 1
+	if err := s.openSegment(newSeq); err != nil {
+		// The old segment is closed; the store cannot continue. Callers
+		// treat this as fatal.
+		s.closed = true
+		s.mu.Unlock()
+		s.met.snapshotErrs.Inc()
+		return err
+	}
+	s.mu.Unlock()
+
+	sessions, jobsList := build()
+	m := Manifest{
+		Version:     manifestVersion,
+		Seq:         newSeq,
+		TakenUnixNS: time.Now().UnixNano(),
+		Sessions:    sessions,
+		Graphs:      s.BlobSHAs(),
+		Jobs:        jobsList,
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		s.met.snapshotErrs.Inc()
+		return fmt.Errorf("durable: encode manifest: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.snapDir(), snapName(newSeq)), data); err != nil {
+		s.met.snapshotErrs.Inc()
+		return err
+	}
+	if err := syncDir(s.snapDir()); err != nil {
+		s.met.snapshotErrs.Inc()
+		return err
+	}
+
+	s.mu.Lock()
+	s.snapSeq = newSeq
+	s.mu.Unlock()
+	s.met.snapshots.Inc()
+	s.lastSnap.Store(time.Now().Unix())
+	s.met.snapSessions.Set(int64(len(m.Sessions)))
+	s.met.snapGraphs.Set(int64(len(m.Graphs)))
+	s.met.snapJobs.Set(int64(len(m.Jobs)))
+
+	// Prune: segments below the manifest's seq are fully covered by it;
+	// snapshots below it are superseded. Failures here are cosmetic (extra
+	// files, all ignored or deduped by the next recovery), so they are not
+	// surfaced.
+	if ents, err := os.ReadDir(s.walDir()); err == nil {
+		for _, e := range ents {
+			if seq, ok := parseSeq(e.Name(), "seg-", ".wal"); ok && seq < newSeq {
+				os.Remove(filepath.Join(s.walDir(), e.Name())) //nolint:errcheck
+			}
+		}
+	}
+	if ents, err := os.ReadDir(s.snapDir()); err == nil {
+		for _, e := range ents {
+			if seq, ok := parseSeq(e.Name(), "snap-", ".json"); ok && seq < newSeq {
+				os.Remove(filepath.Join(s.snapDir(), e.Name())) //nolint:errcheck
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the active segment. Call it after the final
+// Snapshot; appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	close(s.stopSync)
+	s.mu.Unlock()
+	s.syncWG.Wait()
+	s.mu.Lock()
+	if err := s.seg.Sync(); err != nil {
+		s.seg.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	s.met.fsyncs.Inc()
+	return s.seg.Close()
+}
+
+// Abort closes the store without flushing — the in-process stand-in for
+// kill -9 in crash-recovery tests. Bytes already written to the segment
+// survive (the OS has them); nothing else is promised.
+func (s *Store) Abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.stopSync)
+	s.seg.Close() //nolint:errcheck // crash semantics: no flush, no error handling
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so a crash leaves either the old file or the new one —
+// never a torn half.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("durable: %w", err)
+	}
+	return nil
+}

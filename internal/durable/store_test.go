@@ -1,0 +1,360 @@
+package durable
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"chatgraph/internal/graph"
+)
+
+func openStore(t *testing.T, dir string, sync SyncPolicy) (*Store, *State) {
+	t.Helper()
+	st, state, err := Open(Options{Dir: dir, Sync: sync})
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return st, state
+}
+
+func TestStoreAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, state := openStore(t, dir, SyncAlways)
+	if len(state.Sessions) != 0 || state.Records != 0 {
+		t.Fatalf("fresh dir state = %+v", state)
+	}
+
+	created := time.Now()
+	if err := st.LogSessionCreate("sess-1", created); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogTurn(TurnRecord{SessionID: "sess-1", Index: 0, Question: "q0", Kind: "social", Chain: "graph.stats", Answer: "a0", ElapsedMS: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogTurn(TurnRecord{SessionID: "sess-1", Index: 1, Question: "q1", Answer: "a1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSessionCreate("sess-2", created); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSessionDelete("sess-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogJobSubmit(JobRecord{ID: "job-1", Priority: "normal", Question: "count", State: "queued", SubmittedUnixNS: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogJobDone(JobRecord{ID: "job-1", Priority: "normal", State: "done", Result: []byte(`{"answer":"42"}`), SubmittedUnixNS: 100, FinishedUnixNS: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	g := graph.PlantedCommunities(2, 8, 0.5, 0.05, rand.New(rand.NewSource(7)))
+	sha, err := st.PersistGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha == "" {
+		t.Fatal("empty graph sha")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	s1, ok := rec.Sessions["sess-1"]
+	if !ok {
+		t.Fatalf("sess-1 not recovered: %+v", rec.Sessions)
+	}
+	if len(s1.Turns) != 2 || s1.Turns[0].Answer != "a0" || s1.Turns[1].Question != "q1" {
+		t.Fatalf("sess-1 turns = %+v", s1.Turns)
+	}
+	if _, ok := rec.Sessions["sess-2"]; ok {
+		t.Fatal("deleted sess-2 resurrected")
+	}
+	j, ok := rec.Jobs["job-1"]
+	if !ok || j.State != "done" || string(j.Result) != `{"answer":"42"}` || j.Question != "count" {
+		t.Fatalf("job-1 = %+v", j)
+	}
+	if len(rec.Graphs) != 1 || rec.Graphs[0] != sha {
+		t.Fatalf("graphs = %v, want [%s]", rec.Graphs, sha)
+	}
+	if rec.Truncations != 0 {
+		t.Fatalf("truncations = %d", rec.Truncations)
+	}
+	g2, err := st2.LoadGraph(sha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("blob graph = %d nodes/%d edges, want %d/%d", g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+// TestStoreTornTail cuts the active segment mid-frame (as a crash during a
+// write would) and checks recovery keeps everything before the tear,
+// truncates the file, and counts the truncation.
+func TestStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir, SyncAlways)
+	if err := st.LogSessionCreate("kept", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogTurn(TurnRecord{SessionID: "kept", Index: 0, Answer: "kept answer"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segPath := filepath.Join(dir, "wal", segName(1))
+	info, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact := info.Size()
+	// A torn frame: a plausible header promising more bytes than exist.
+	f, err := os.OpenFile(segPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0x99, 0x99, 0x99, 0x99, 'p', 'a', 'r'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, rec := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	if rec.Truncations != 1 {
+		t.Fatalf("truncations = %d, want 1", rec.Truncations)
+	}
+	s, ok := rec.Sessions["kept"]
+	if !ok || len(s.Turns) != 1 || s.Turns[0].Answer != "kept answer" {
+		t.Fatalf("recovered = %+v", rec.Sessions)
+	}
+	if info, err := os.Stat(segPath); err != nil || info.Size() != intact {
+		t.Fatalf("segment not truncated back to %d: %v %v", intact, info, err)
+	}
+}
+
+func TestStoreSnapshotRotatePrune(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir, SyncAlways)
+	defer st.Close()
+	if err := st.LogSessionCreate("pre", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	sessions := []ManifestSession{{
+		ID:             "pre",
+		CreatedUnixNS:  time.Now().UnixNano(),
+		LastUsedUnixNS: time.Now().UnixNano(),
+		Turns:          []TurnRecord{{SessionID: "pre", Index: 0, Answer: "from manifest"}},
+	}}
+	jobsList := []JobRecord{{ID: "done-job", Priority: "high", State: "done", FinishedUnixNS: 5}}
+	if err := st.Snapshot(func() ([]ManifestSession, []JobRecord) { return sessions, jobsList }); err != nil {
+		t.Fatal(err)
+	}
+	// After the snapshot: segment 1 pruned, segment 2 active, one manifest.
+	walEnts, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walEnts) != 1 || walEnts[0].Name() != segName(2) {
+		t.Fatalf("wal dir after snapshot = %v", names(walEnts))
+	}
+	snapEnts, err := os.ReadDir(filepath.Join(dir, "snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snapEnts) != 1 || snapEnts[0].Name() != snapName(2) {
+		t.Fatalf("snap dir after snapshot = %v", names(snapEnts))
+	}
+
+	// Records after the snapshot land in segment 2 and replay on top of it.
+	if err := st.LogSessionCreate("post", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(func() ([]ManifestSession, []JobRecord) { return sessions, jobsList }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	s, ok := rec.Sessions["pre"]
+	if !ok || len(s.Turns) != 1 || s.Turns[0].Answer != "from manifest" {
+		t.Fatalf("manifest session = %+v", rec.Sessions)
+	}
+	j, ok := rec.Jobs["done-job"]
+	if !ok || j.State != "done" {
+		t.Fatalf("manifest job = %+v", rec.Jobs)
+	}
+	// "post" was created after the first snapshot; the second snapshot's
+	// manifest (built from the same static fixture) does not carry it, but
+	// its WAL record lives in a segment >= the manifest seq... it does not:
+	// the second rotation pruned segment 2. That is exactly the durability
+	// contract — the manifest must be built from live state, and this test's
+	// fixture deliberately dropped "post" to prove pruned segments do not
+	// resurrect records on their own.
+	if _, ok := rec.Sessions["post"]; ok {
+		t.Fatal("post survived although the manifest dropped it and its segment was pruned")
+	}
+}
+
+func names(ents []os.DirEntry) []string {
+	out := make([]string, len(ents))
+	for i, e := range ents {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+func TestPersistGraphDedup(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir, SyncAlways)
+	defer st.Close()
+	g1 := graph.PlantedCommunities(2, 8, 0.5, 0.05, rand.New(rand.NewSource(1)))
+	g2 := graph.PlantedCommunities(2, 8, 0.5, 0.05, rand.New(rand.NewSource(1)))
+	g3 := graph.PlantedCommunities(3, 9, 0.5, 0.05, rand.New(rand.NewSource(2)))
+
+	sha1, err := st.PersistGraph(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same content through a distinct instance (different ExactHash identity
+	// path) must land on the same blob.
+	sha2, err := st.PersistGraph(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha3, err := st.PersistGraph(g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha1 != sha2 {
+		t.Fatalf("same content, different shas: %s vs %s", sha1, sha2)
+	}
+	if sha1 == sha3 {
+		t.Fatalf("different content, same sha %s", sha1)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("blob files = %v, want 2", names(ents))
+	}
+}
+
+// TestAppendReplayProperty drives a random event sequence into the store —
+// with crash/reopen cycles at random points — and checks the replayed state
+// always matches a reference State fed the same records. This is the
+// append→replay round-trip property the recovery path stands on.
+func TestAppendReplayProperty(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			dir := t.TempDir()
+			st, _ := openStore(t, dir, SyncNone)
+			ref := NewState()
+			sessions := []string{}
+			turnCount := map[string]int{}
+			now := time.Now().UnixNano()
+
+			apply := func(rec *Record) {
+				if err := st.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+				// Append stamped rec.TS; the reference sees the same record.
+				r := *rec
+				ref.Apply(&r)
+				ref.Records-- // replay count is not part of the property
+			}
+
+			for step := 0; step < 300; step++ {
+				now += int64(rng.Intn(1000) + 1)
+				switch op := rng.Intn(10); {
+				case op < 3: // create
+					id := fmt.Sprintf("s%d-%d", trial, step)
+					sessions = append(sessions, id)
+					apply(&Record{Type: RecSessionCreate, TS: now, Session: &SessionRecord{ID: id, CreatedUnixNS: now}})
+				case op < 6 && len(sessions) > 0: // turn on a random session
+					id := sessions[rng.Intn(len(sessions))]
+					apply(&Record{Type: RecTurn, TS: now, Turn: &TurnRecord{
+						SessionID: id,
+						Index:     turnCount[id],
+						Question:  fmt.Sprintf("q%d", step),
+						Answer:    fmt.Sprintf("a%d", step),
+					}})
+					turnCount[id]++
+				case op < 7 && len(sessions) > 0: // delete
+					i := rng.Intn(len(sessions))
+					id := sessions[i]
+					sessions = append(sessions[:i], sessions[i+1:]...)
+					delete(turnCount, id)
+					apply(&Record{Type: RecSessionDelete, TS: now, Session: &SessionRecord{ID: id}})
+				case op < 8: // job lifecycle, sometimes left non-terminal
+					id := fmt.Sprintf("j%d-%d", trial, step)
+					apply(&Record{Type: RecJobSubmit, TS: now, Job: &JobRecord{ID: id, Priority: "normal", Question: "q", State: "queued", SubmittedUnixNS: now}})
+					if rng.Intn(3) > 0 {
+						apply(&Record{Type: RecJobDone, TS: now + 1, Job: &JobRecord{ID: id, Priority: "normal", State: "done", Result: []byte(`{"ok":true}`), FinishedUnixNS: now + 1}})
+					}
+				case op < 9: // graph commit record (no blob needed for replay)
+					apply(&Record{Type: RecGraph, TS: now, Graph: &GraphRecord{SHA: fmt.Sprintf("%064x", rng.Int63())}})
+				default: // crash (no flush) and reopen mid-stream
+					st.Abort()
+					var rec *State
+					st, rec = openStore(t, dir, SyncNone)
+					compareStates(t, step, ref, rec)
+				}
+			}
+
+			st.Abort()
+			st2, rec := openStore(t, dir, SyncNone)
+			st2.Close()
+			compareStates(t, -1, ref, rec)
+		})
+	}
+}
+
+// compareStates checks the replayed state carries exactly the reference's
+// sessions (with transcripts), jobs, and graph set.
+func compareStates(t *testing.T, step int, ref, got *State) {
+	t.Helper()
+	if len(got.Sessions) != len(ref.Sessions) {
+		t.Fatalf("step %d: sessions = %d, want %d", step, len(got.Sessions), len(ref.Sessions))
+	}
+	for id, want := range ref.Sessions {
+		g, ok := got.Sessions[id]
+		if !ok {
+			t.Fatalf("step %d: session %s lost", step, id)
+		}
+		if !reflect.DeepEqual(g.Turns, want.Turns) {
+			t.Fatalf("step %d: session %s turns = %+v, want %+v", step, id, g.Turns, want.Turns)
+		}
+		if !g.Created.Equal(want.Created) || !g.LastUsed.Equal(want.LastUsed) {
+			t.Fatalf("step %d: session %s clocks = %v/%v, want %v/%v", step, id, g.Created, g.LastUsed, want.Created, want.LastUsed)
+		}
+	}
+	if len(got.Jobs) != len(ref.Jobs) {
+		t.Fatalf("step %d: jobs = %d, want %d", step, len(got.Jobs), len(ref.Jobs))
+	}
+	for id, want := range ref.Jobs {
+		g, ok := got.Jobs[id]
+		if !ok {
+			t.Fatalf("step %d: job %s lost", step, id)
+		}
+		if !reflect.DeepEqual(g, want) {
+			t.Fatalf("step %d: job %s = %+v, want %+v", step, id, g, want)
+		}
+	}
+	if !reflect.DeepEqual(got.Graphs, ref.Graphs) {
+		t.Fatalf("step %d: graphs = %v, want %v", step, got.Graphs, ref.Graphs)
+	}
+}

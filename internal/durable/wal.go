@@ -1,0 +1,84 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Segment layout: an 8-byte magic header, then frames back to back. Each
+// frame is
+//
+//	uint32 LE payload length | uint32 LE CRC32C(payload) | payload
+//
+// A reader stops at the first frame that fails any check — short header,
+// zero or oversized length, payload running past the data, or a CRC
+// mismatch — and reports the byte offset of the end of the last intact
+// frame, which is exactly where a torn tail is truncated to.
+
+// segMagic opens every WAL segment; a file without it is not a segment.
+const segMagic = "CGWAL001"
+
+// MagicLen is the segment header size in bytes.
+const MagicLen = len(segMagic)
+
+// frameHeaderLen is the per-frame length + CRC prefix.
+const frameHeaderLen = 8
+
+// MaxRecordLen bounds one frame's payload. The largest legitimate record
+// is a job-done carrying a chat response; 16 MiB leaves room above the
+// 8 MiB request-body cap while keeping a corrupted length field from
+// asking the reader to trust a gigabyte.
+const MaxRecordLen = 16 << 20
+
+// castagnoli is the CRC32C table (the checksum most WAL formats use; the
+// stdlib computes it with SSE4.2/ARMv8 instructions where available).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one framed payload to buf and returns the extended
+// slice. Framing never fails; oversized payloads are the append path's
+// responsibility to reject before framing.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// DecodeFrames walks a full segment image (magic header included) and
+// returns every intact payload in order, plus the byte offset of the end of
+// the last intact frame — the length a torn segment should be truncated to.
+// A segment that fails its magic check yields valid == 0. err describes the
+// first corruption and is nil only when every byte was consumed by intact
+// frames; the payloads before the corruption are still returned. Returned
+// payloads alias data.
+func DecodeFrames(data []byte) (payloads [][]byte, valid int, err error) {
+	if len(data) < MagicLen || string(data[:MagicLen]) != segMagic {
+		return nil, 0, fmt.Errorf("durable: bad segment magic")
+	}
+	off := MagicLen
+	for off < len(data) {
+		// All arithmetic below is int math on values bounded by
+		// MaxRecordLen, so a hostile length field cannot overflow or
+		// over-read.
+		if len(data)-off < frameHeaderLen {
+			return payloads, off, fmt.Errorf("durable: torn frame header at offset %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n == 0 || n > MaxRecordLen {
+			return payloads, off, fmt.Errorf("durable: implausible frame length %d at offset %d", n, off)
+		}
+		if len(data)-off-frameHeaderLen < n {
+			return payloads, off, fmt.Errorf("durable: torn frame payload at offset %d", off)
+		}
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, castagnoli) != want {
+			return payloads, off, fmt.Errorf("durable: frame checksum mismatch at offset %d", off)
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderLen + n
+	}
+	return payloads, off, nil
+}

@@ -110,6 +110,24 @@ func (p Priority) String() string {
 	}
 }
 
+// ParseState inverts State.String; ok is false for unrecognized names.
+func ParseState(s string) (State, bool) {
+	switch s {
+	case "queued":
+		return StateQueued, true
+	case "running":
+		return StateRunning, true
+	case "done":
+		return StateDone, true
+	case "failed":
+		return StateFailed, true
+	case "cancelled":
+		return StateCancelled, true
+	default:
+		return 0, false
+	}
+}
+
 // ParsePriority reads a wire priority; the empty string is PriorityNormal.
 func ParsePriority(s string) (Priority, error) {
 	switch s {
@@ -257,6 +275,12 @@ type Options struct {
 	// Metrics is the registry the pool instruments into (nil →
 	// metrics.Default()).
 	Metrics *metrics.Registry
+	// OnTerminal, when set, observes every live terminal transition (done,
+	// failed, cancelled) with the job's settled status — the durability
+	// layer's hook. It is invoked after the manager's and job's locks are
+	// released, so it may call back into the Manager freely. Jobs inserted
+	// via Restore are not re-observed.
+	OnTerminal func(Status)
 }
 
 // Manager owns the worker pool, the priority queue, and the job store.
@@ -411,6 +435,7 @@ func (m *Manager) Cancel(id string) (State, bool) {
 		j.mu.Unlock()
 		m.mu.Unlock()
 		j.cancel()
+		m.observeTerminal(j)
 		return StateCancelled, true
 	case StateRunning:
 		j.mu.Unlock()
@@ -466,6 +491,7 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	var cancelled []*Job
 	for pri := range m.queues {
 		for _, j := range m.queues[pri] {
 			j.mu.Lock()
@@ -473,12 +499,16 @@ func (m *Manager) Close() {
 			m.finishLocked(j, StateCancelled)
 			j.mu.Unlock()
 			j.cancel()
+			cancelled = append(cancelled, j)
 		}
 		m.queues[pri] = nil
 	}
 	m.queued = 0
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	for _, j := range cancelled {
+		m.observeTerminal(j)
+	}
 	m.stop()
 	m.wg.Wait()
 }
@@ -558,6 +588,59 @@ func (m *Manager) run(j *Job) {
 	m.mu.Unlock()
 	// Release the context's resources now that nothing can cancel it.
 	j.cancel()
+	m.observeTerminal(j)
+}
+
+// observeTerminal fires the OnTerminal hook with j's settled status. Always
+// called with no manager or job locks held — the hook may call back into
+// the Manager (Get, All, even Submit) without deadlocking.
+func (m *Manager) observeTerminal(j *Job) {
+	if m.opts.OnTerminal != nil {
+		m.opts.OnTerminal(j.Status())
+	}
+}
+
+// Restore inserts a job recovered from the durability layer: a settled
+// record with no task, context, or queue presence. st must be terminal.
+// Restored jobs are fully queryable (Status, EventsSince replay, Cancel
+// no-op) and are retention-swept like any finished job, but they do not
+// fire OnTerminal and do not count in the outcome metrics — both already
+// happened in a previous incarnation. ok is false if the ID is already
+// present, the state is non-terminal, or the manager is closed.
+func (m *Manager) Restore(id string, pri Priority, st State, submitted, started, finished time.Time, result any, jerr error) bool {
+	if !st.Terminal() || id == "" {
+		return false
+	}
+	if pri < PriorityLow || pri > PriorityHigh {
+		pri = PriorityNormal
+	}
+	j := &Job{
+		ID:        id,
+		Priority:  pri,
+		state:     st,
+		submitted: submitted,
+		started:   started,
+		finished:  finished,
+		result:    result,
+		err:       jerr,
+		changed:   make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	close(j.done)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	if _, exists := m.jobs[id]; exists {
+		return false
+	}
+	m.jobs[id] = j
+	// m.finished must stay in finish order for the sweep's eviction-from-
+	// the-front scan; recovery restores jobs sorted by finish time before
+	// any live job can finish, so append preserves the invariant.
+	m.finished = append(m.finished, j)
+	return true
 }
 
 // runTask isolates the task call so a panicking job fails instead of

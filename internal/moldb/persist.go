@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"chatgraph/internal/graph"
 )
@@ -54,17 +55,39 @@ func ReadFrom(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
-// Save writes the database to a file.
+// Save writes the database to a file, crash-safely: the data lands in a
+// same-directory temp file that is fsynced and renamed over path, so a
+// crash mid-save leaves the previous file intact instead of a torn half.
+// (The old implementation wrote path in place — and closed the file twice,
+// once via defer and once explicitly, so the Write error could be masked by
+// a spurious "file already closed".)
 func (db *DB) Save(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".moldb-*")
 	if err != nil {
 		return fmt.Errorf("moldb: %w", err)
 	}
-	defer f.Close()
+	tmp := f.Name()
+	cleanup := func() { os.Remove(tmp) } //nolint:errcheck
 	if err := db.Write(f); err != nil {
+		f.Close()
+		cleanup()
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return fmt.Errorf("moldb: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("moldb: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		cleanup()
+		return fmt.Errorf("moldb: %w", err)
+	}
+	return nil
 }
 
 // Load reads a database from a file written by Save.

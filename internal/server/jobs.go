@@ -110,6 +110,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var g *graph.Graph
+	var graphSHA string
 	if len(req.Graph) > 0 {
 		if g, err = graph.ParseJSON(req.Graph); err != nil {
 			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad graph: %v", err))
@@ -118,6 +119,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		if !s.opts.DisableGraphIntern {
 			g = s.eng.Graphs().Intern(g)
 		}
+		graphSHA = s.persistGraph(g)
 	}
 	var c chain.Chain
 	if req.Chain != "" {
@@ -166,6 +168,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
+	s.logJobSubmit(j, req, graphSHA)
 	writeJSON(w, http.StatusAccepted, jobInfo(j.Status()))
 }
 

@@ -122,6 +122,14 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 // still report that it is overloaded.
 func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// A server mid-recovery refuses work outright: its session and job
+		// state is still being rebuilt, so admitting a request would answer
+		// from a half-restored world.
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, r, http.StatusServiceUnavailable, "server recovering, retry later")
+			return
+		}
 		if max := s.opts.MaxInFlight; max > 0 {
 			if cur := s.hm.gatedInFlight.Inc(); cur > int64(max) {
 				s.hm.gatedInFlight.Dec()

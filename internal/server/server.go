@@ -21,10 +21,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"chatgraph/internal/config"
 	"chatgraph/internal/core"
+	"chatgraph/internal/durable"
 	"chatgraph/internal/executor"
 	"chatgraph/internal/graph"
 	"chatgraph/internal/jobs"
@@ -70,6 +72,12 @@ type Options struct {
 	// JobRetention is how long finished jobs stay queryable (0 →
 	// jobs.DefaultRetention).
 	JobRetention time.Duration
+	// Durable, when set, persists session lifecycle, transcripts, uploaded
+	// graphs, and job records through the WAL + snapshot store, and the
+	// server boots not-ready (/readyz 503, gated routes shed) until the
+	// caller completes recovery with Recover — which must be called even
+	// when the recovered state is empty.
+	Durable *durable.Store
 }
 
 // Server routes HTTP traffic onto a shared core.Engine. Conversation state
@@ -84,6 +92,10 @@ type Server struct {
 	jobs *jobs.Manager
 	// legacy backs the pre-v1 single-conversation POST /chat endpoint.
 	legacy *core.Session
+	// ready gates traffic during boot recovery: false answers /readyz with
+	// 503 and sheds the admission-gated routes. Servers without a durable
+	// store are born ready.
+	ready atomic.Bool
 }
 
 // New returns a Server over eng.
@@ -93,18 +105,24 @@ func New(eng *core.Engine, opts Options) *Server {
 		reg = metrics.Default()
 	}
 	s := &Server{
-		eng:  eng,
-		mgr:  NewSessionManager(eng, opts.SessionTTL, opts.MaxSessions),
-		opts: opts,
-		hm:   newHTTPMetrics(reg),
-		jobs: jobs.New(jobs.Options{
-			Workers:    opts.JobWorkers,
-			QueueDepth: opts.JobQueue,
-			Retention:  opts.JobRetention,
-			Metrics:    reg,
-		}),
+		eng:    eng,
+		mgr:    NewSessionManager(eng, opts.SessionTTL, opts.MaxSessions),
+		opts:   opts,
+		hm:     newHTTPMetrics(reg),
 		legacy: eng.NewSession(),
 	}
+	// The job pool's terminal hook needs s, so the pool is built after the
+	// struct (onJobTerminal no-ops when no durable store is configured).
+	s.jobs = jobs.New(jobs.Options{
+		Workers:    opts.JobWorkers,
+		QueueDepth: opts.JobQueue,
+		Retention:  opts.JobRetention,
+		Metrics:    reg,
+		OnTerminal: s.onJobTerminal,
+	})
+	// With durability on, the server refuses traffic until Recover has
+	// replayed the persisted state into it.
+	s.ready.Store(opts.Durable == nil)
 	// Session gauges read the manager's own bookkeeping at scrape time — no
 	// extra work on the session hot path.
 	reg.GaugeFunc("chatgraph_sessions_live",
@@ -119,6 +137,9 @@ func New(eng *core.Engine, opts Options) *Server {
 	reg.CounterFunc("chatgraph_sessions_deleted_total",
 		"v1 sessions explicitly deleted.", nil,
 		func() float64 { return float64(s.mgr.deleted.Load()) })
+	reg.CounterFunc("chatgraph_sessions_restored_total",
+		"v1 sessions rebuilt from the durable log at boot.", nil,
+		func() float64 { return float64(s.mgr.restored.Load()) })
 	return s
 }
 
@@ -176,6 +197,11 @@ func (s *Server) Handler() http.Handler {
 	handle("/healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}, false)
+	// Readiness is distinct from liveness: a recovering server is alive
+	// (healthz 200) but not ready (readyz 503), so orchestrators and load
+	// generators wait for replay instead of hammering a server that sheds.
+	// Like the other probe routes, readyz bypasses the admission gate.
+	handle("GET /readyz", "readyz", s.handleReadyz, false)
 	mux.Handle("GET /metrics", s.instrument("metrics", s.hm.reg.Handler()))
 	return withRequestID(mux)
 }
@@ -224,6 +250,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	s.logSessionCreate(m)
 	writeJSON(w, http.StatusCreated, s.sessionInfo(m))
 }
 
@@ -238,10 +265,12 @@ func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.mgr.Delete(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if !s.mgr.Delete(id) {
 		writeError(w, r, http.StatusNotFound, "no such session")
 		return
 	}
+	s.logSessionDelete(id)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 }
 
@@ -468,6 +497,7 @@ func (s *Server) decodeChat(w http.ResponseWriter, r *http.Request) (question st
 		if !s.opts.DisableGraphIntern {
 			g = s.eng.Graphs().Intern(g)
 		}
+		s.persistGraph(g)
 	}
 	return req.Question, g, true
 }

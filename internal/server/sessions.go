@@ -59,9 +59,10 @@ type SessionManager struct {
 	// creates cannot overshoot max.
 	createMu sync.Mutex
 	// Lifecycle tallies, read by the metrics counter funcs at scrape time.
-	created atomic.Int64
-	expired atomic.Int64
-	deleted atomic.Int64
+	created  atomic.Int64
+	expired  atomic.Int64
+	deleted  atomic.Int64
+	restored atomic.Int64
 }
 
 // NewSessionManager returns a manager minting sessions from eng. ttl ≤ 0
@@ -104,6 +105,39 @@ func (sm *SessionManager) Create() (*managed, error) {
 	sm.created.Add(1)
 	return m, nil
 }
+
+// Restore re-inserts a session recovered from the durability layer under
+// its original ID, with its original creation time and idle clock (the
+// caller applies TTL policy before deciding to restore). The restored
+// session's history is empty; the caller rebuilds it via
+// core.Session.RestoreHistory.
+func (sm *SessionManager) Restore(id string, created, lastUsed time.Time) (*managed, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: restore: empty session id")
+	}
+	sm.createMu.Lock()
+	defer sm.createMu.Unlock()
+	if _, exists := sm.sessions.Load(id); exists {
+		return nil, fmt.Errorf("server: restore: session %s already live", id)
+	}
+	if int(sm.count.Load()) >= sm.max {
+		return nil, ErrTooManySessions
+	}
+	m := &managed{
+		ID:      id,
+		Session: sm.eng.NewSession(),
+		Created: created,
+	}
+	m.lastUsed.Store(lastUsed.UnixNano())
+	sm.sessions.Store(m.ID, m)
+	sm.count.Add(1)
+	sm.restored.Add(1)
+	return m, nil
+}
+
+// Restored reports how many sessions were rebuilt from the durability layer
+// at boot.
+func (sm *SessionManager) Restored() int { return int(sm.restored.Load()) }
 
 // Get returns the live session with the given ID, touching its idle clock.
 // Expired sessions are removed on sight and reported as ErrNoSession.
