@@ -66,6 +66,7 @@ func main() {
 		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 
 		maxInFlight  = flag.Int("max-inflight", 0, "cap on concurrently admitted requests; excess sheds with 429 (0 = unlimited)")
+		maxRPS       = flag.Float64("max-rps", 0, "cap on the aggregate admitted request rate (this replica's provisioned capacity); excess sheds with 429 (0 = unlimited)")
 		sessionRate  = flag.Float64("session-rate", 0, "per-session chat rate limit in requests/sec (0 = unlimited)")
 		sessionBurst = flag.Int("session-burst", 0, "per-session rate-limit burst (0 = one second's worth)")
 		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-request context deadline on chat/retrieve; expired chats answer 504 (0 = none)")
@@ -145,6 +146,7 @@ func main() {
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
 		MaxInFlight:    *maxInFlight,
+		MaxRPS:         *maxRPS,
 		SessionRate:    *sessionRate,
 		SessionBurst:   *sessionBurst,
 		RequestTimeout: *reqTimeout,

@@ -63,7 +63,8 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "http://localhost:8080", "base URL of the chatgraphd to drive")
+		addr         = flag.String("addr", "http://localhost:8080", "base URL of the chatgraphd (or chatgraph-router) to drive")
+		targets      = flag.String("targets", "", "comma-separated base URLs to spread load across (cluster mode: sessions and ops are partitioned over the targets and the report breaks results down per backend); empty = just -addr")
 		duration     = flag.Duration("duration", 5*time.Second, "how long to generate load")
 		concurrency  = flag.Int("concurrency", 4, "closed-loop worker count (open loop: max outstanding requests)")
 		mode         = flag.String("mode", "closed", "load model: closed (workers) or open (fixed arrival rate)")
@@ -96,11 +97,31 @@ func main() {
 		*sessions = *concurrency
 	}
 
-	base := strings.TrimRight(*addr, "/")
+	// Cluster mode: with -targets, sessions and ops are partitioned over the
+	// listed base URLs; otherwise everything drives -addr. Either way each
+	// response's X-Backend header (set by chatgraph-router) feeds the
+	// per-backend breakdown and the session-affinity check.
+	bases := []string{strings.TrimRight(*addr, "/")}
+	if *targets != "" {
+		bases = bases[:0]
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+				bases = append(bases, t)
+			}
+		}
+		if len(bases) == 0 {
+			log.Fatal("loadgen: -targets supplied but empty after parsing")
+		}
+	}
+	base := bases[0]
 	client := &http.Client{Timeout: *timeout}
 	rc := &reconnector{grace: *restartGrace}
-	if *readyWait > 0 && !waitReady(client, base, *readyWait) {
-		log.Fatalf("loadgen: daemon at %s not ready within %s", base, *readyWait)
+	if *readyWait > 0 {
+		for _, b := range bases {
+			if !waitReady(client, b, *readyWait) {
+				log.Fatalf("loadgen: daemon at %s not ready within %s", b, *readyWait)
+			}
+		}
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -144,42 +165,55 @@ func main() {
 		log.Fatalf("loadgen: marshal retrieve body: %v", err)
 	}
 
-	// Session pool.
-	pool := make([]string, 0, *sessions)
+	// Session pool, partitioned over the targets. createdOn remembers which
+	// backend (X-Backend) answered the create so every later chat on the
+	// session can be checked for affinity.
+	pool := make([]poolSession, 0, *sessions)
 	for i := 0; i < *sessions; i++ {
-		id, err := createSession(rc, client, base)
+		tgt := bases[i%len(bases)]
+		id, backend, err := createSession(rc, client, tgt)
 		if err != nil {
-			log.Fatalf("loadgen: create session %d: %v", i, err)
+			log.Fatalf("loadgen: create session %d on %s: %v", i, tgt, err)
 		}
-		pool = append(pool, id)
+		pool = append(pool, poolSession{base: tgt, id: id, createdOn: backend})
 	}
 
 	// Baseline cache counters: the cache block reports deltas over the run,
 	// so earlier traffic against the same daemon doesn't pollute the rates.
-	cacheBefore := scrapeCacheCounters(client, base+"/metrics")
+	// Multi-target runs sum the counters across targets.
+	cacheBefore := scrapeAllCacheCounters(client, bases)
 
 	run := newRunStats()
 	doOp := func(w *rand.Rand, worker int) {
 		start := time.Now()
+		tgt := bases[worker%len(bases)]
 		if *jobsMix > 0 && w.Float64() < *jobsMix {
-			status, outcome, err := runJob(rc, client, base, jobBody, *timeout)
-			run.recordJob(status, outcome, err, time.Since(start))
+			status, outcome, backend, err := runJob(rc, client, tgt, jobBody, *timeout)
+			run.recordJob(status, outcome, backend, err, time.Since(start))
 			return
 		}
 		var (
 			op     string
 			status int
 			err    error
+			meta   respMeta
 		)
 		if w.Float64() < *chatFrac {
 			op = "chat"
-			sid := pool[worker%len(pool)]
-			status, err = rc.post(client, base+"/v1/sessions/"+sid+"/chat", chatBody, nil)
+			sess := pool[worker%len(pool)]
+			status, err = rc.post(client, sess.base+"/v1/sessions/"+sess.id+"/chat", chatBody, nil, &meta)
+			// Affinity check: a session's chats must land where the session
+			// was created. Only checkable when both responses named a
+			// backend (i.e. the target is a router).
+			if err == nil && status >= 200 && status < 300 &&
+				sess.createdOn != "" && meta.backend != "" && meta.backend != sess.createdOn {
+				run.affinityViolation()
+			}
 		} else {
 			op = "retrieve"
-			status, err = rc.post(client, base+"/v1/retrieve", retrieveBody, nil)
+			status, err = rc.post(client, tgt+"/v1/retrieve", retrieveBody, nil, &meta)
 		}
-		run.record(op, status, err, time.Since(start))
+		run.record(op, meta.backend, status, err, time.Since(start))
 	}
 
 	log.Printf("loadgen: %s loop against %s for %s (concurrency %d, sessions %d, chat-frac %.2f, jobs-mix %.2f)",
@@ -234,12 +268,20 @@ func main() {
 	elapsed := time.Since(wallStart)
 
 	// Post-run observability probes: the serving layer is not healthy if it
-	// cannot say it is healthy.
-	healthzOK := probe(client, base+"/healthz", "")
-	metricsOK := probe(client, base+"/metrics", "chatgraph_http_requests_total")
-	cacheAfter := scrapeCacheCounters(client, base+"/metrics")
+	// cannot say it is healthy. Every target must answer; a router exposes
+	// chatgraph_router_* families instead of the daemon's http counters.
+	healthzOK, metricsOK := true, true
+	for _, b := range bases {
+		healthzOK = healthzOK && probe(client, b+"/healthz", "")
+		metricsOK = metricsOK && (probe(client, b+"/metrics", "chatgraph_http_requests_total") ||
+			probe(client, b+"/metrics", "chatgraph_router_requests_total"))
+	}
+	cacheAfter := scrapeAllCacheCounters(client, bases)
 
-	report := run.report(*mode, base, elapsed, *concurrency, *rate, *chatFrac, len(pool), healthzOK, metricsOK)
+	report := run.report(*mode, strings.Join(bases, ","), elapsed, *concurrency, *rate, *chatFrac, len(pool), healthzOK, metricsOK)
+	if len(bases) > 1 {
+		report.Targets = bases
+	}
 	report.Reupload = *reupload
 	report.Cache = cacheDelta(cacheBefore, cacheAfter)
 	report.JobsMix = *jobsMix
@@ -275,6 +317,9 @@ func main() {
 		}
 		if report.Total.OK == 0 {
 			log.Fatal("loadgen: strict: no successful requests")
+		}
+		if report.AffinityViolations > 0 {
+			log.Fatalf("loadgen: strict: %d session-affinity violations (chats served off the session's home backend)", report.AffinityViolations)
 		}
 		if j := report.Jobs; j != nil && j.Stuck > 0 {
 			log.Fatalf("loadgen: strict: %d jobs stuck (never reached a terminal state)", j.Stuck)
@@ -324,9 +369,24 @@ func (rc *reconnector) do(op func() (retry bool, err error)) error {
 	return err
 }
 
+// respMeta carries response facts that ride outside the decoded body —
+// today just the X-Backend header a cluster router stamps on every reply.
+type respMeta struct {
+	backend string
+}
+
+// poolSession is one pooled v1 session: where it lives and, when the
+// target is a router, which backend created it (for affinity checks).
+type poolSession struct {
+	base      string
+	id        string
+	createdOn string
+}
+
 // post posts body to url, retrying per the grace policy; when out is non-nil
-// a 2xx reply body is decoded into it.
-func (rc *reconnector) post(client *http.Client, url string, body []byte, out any) (status int, err error) {
+// a 2xx reply body is decoded into it, and when meta is non-nil it captures
+// response metadata from the final attempt.
+func (rc *reconnector) post(client *http.Client, url string, body []byte, out any, meta *respMeta) (status int, err error) {
 	err = rc.do(func() (bool, error) {
 		resp, perr := client.Post(url, "application/json", bytes.NewReader(body))
 		if perr != nil {
@@ -335,6 +395,9 @@ func (rc *reconnector) post(client *http.Client, url string, body []byte, out an
 		}
 		defer resp.Body.Close()
 		status = resp.StatusCode
+		if meta != nil {
+			meta.backend = resp.Header.Get("X-Backend")
+		}
 		if status == http.StatusServiceUnavailable {
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck
 			return true, nil
@@ -353,36 +416,57 @@ func (rc *reconnector) post(client *http.Client, url string, body []byte, out an
 	return status, nil
 }
 
-func createSession(rc *reconnector, client *http.Client, base string) (string, error) {
+func createSession(rc *reconnector, client *http.Client, base string) (id, backend string, err error) {
 	var info struct {
 		SessionID string `json:"session_id"`
 	}
-	status, err := rc.post(client, base+"/v1/sessions", nil, &info)
-	if err != nil {
-		return "", err
-	}
-	if status != http.StatusCreated {
-		return "", fmt.Errorf("status %d", status)
+	var meta respMeta
+	// Pool setup paces through 429s: a rate-capped daemon shedding a burst
+	// of session creates is admission working, not a failure — back off and
+	// finish building the pool before the measured window opens.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, perr := rc.post(client, base+"/v1/sessions", nil, &info, &meta)
+		if perr != nil {
+			return "", "", perr
+		}
+		if status == http.StatusTooManyRequests && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		if status != http.StatusCreated {
+			return "", "", fmt.Errorf("status %d", status)
+		}
+		break
 	}
 	if info.SessionID == "" {
-		return "", fmt.Errorf("empty session_id")
+		return "", "", fmt.Errorf("empty session_id")
 	}
-	return info.SessionID, nil
+	return info.SessionID, meta.backend, nil
 }
 
-// waitReady blocks until GET /readyz answers 200 — or 404, which marks a
-// daemon predating the readiness probe and therefore born ready. Transport
-// errors (daemon still booting or restarting) and 503 (recovery replay in
-// progress) keep polling until the wait expires.
+// waitReady blocks until GET /readyz answers 200 — or the stdlib mux's
+// plain "404 page not found", which marks a daemon predating the readiness
+// probe and therefore born ready. A 404 with any other body is NOT ready:
+// a router or proxy in front answers unknown routes with its own 404 shape
+// long before its backends are reachable, and treating that as ready would
+// start the load window into a dark pool. Transport errors (daemon still
+// booting or restarting) and 503 (recovery replay in progress) keep
+// polling until the wait expires.
 func waitReady(client *http.Client, base string, wait time.Duration) bool {
 	deadline := time.Now().Add(wait)
 	for {
 		resp, err := client.Get(base + "/readyz")
 		if err == nil {
 			status := resp.StatusCode
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck
 			resp.Body.Close()
-			if status == http.StatusOK || status == http.StatusNotFound {
+			if status == http.StatusOK {
+				return true
+			}
+			if status == http.StatusNotFound &&
+				strings.HasPrefix(strings.TrimSpace(string(body)), "404 page not found") {
 				return true
 			}
 		}
@@ -406,31 +490,34 @@ func terminalJobState(s string) bool {
 
 // runJob submits one async job and polls it to a terminal state. status is
 // the submission status (for shed/error accounting); outcome is the job's
-// terminal state, or "stuck" if it never settled within timeout.
-func runJob(rc *reconnector, client *http.Client, base string, body []byte, timeout time.Duration) (status int, outcome string, err error) {
+// terminal state, or "stuck" if it never settled within timeout; backend
+// is the X-Backend that accepted the submission (empty off-cluster).
+func runJob(rc *reconnector, client *http.Client, base string, body []byte, timeout time.Duration) (status int, outcome, backend string, err error) {
 	var info jobInfo
-	status, err = rc.post(client, base+"/v1/jobs", body, &info)
+	var meta respMeta
+	status, err = rc.post(client, base+"/v1/jobs", body, &info, &meta)
+	backend = meta.backend
 	if err != nil {
-		return 0, "", err
+		return 0, "", backend, err
 	}
 	if status != http.StatusAccepted {
-		return status, "", nil
+		return status, "", backend, nil
 	}
 	if info.JobID == "" {
-		return status, "", fmt.Errorf("job accepted but reply carried no job_id")
+		return status, "", backend, fmt.Errorf("job accepted but reply carried no job_id")
 	}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		st, err := getJobState(rc, client, base, info.JobID)
 		if err != nil {
-			return status, "", err
+			return status, "", backend, err
 		}
 		if terminalJobState(st) {
-			return status, st, nil
+			return status, st, backend, nil
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	return status, "stuck", nil
+	return status, "stuck", backend, nil
 }
 
 func getJobState(rc *reconnector, client *http.Client, base, id string) (state string, err error) {
@@ -575,6 +662,25 @@ func scrapeCacheCounters(client *http.Client, url string) cacheCounters {
 	return c
 }
 
+// scrapeAllCacheCounters sums the cache counters across every target —
+// in cluster mode the run's cache behavior is the pool's aggregate. One
+// failed scrape poisons the block (partial sums would misreport rates).
+func scrapeAllCacheCounters(client *http.Client, bases []string) cacheCounters {
+	var sum cacheCounters
+	sum.ok = true
+	for _, b := range bases {
+		c := scrapeCacheCounters(client, b+"/metrics")
+		if !c.ok {
+			return cacheCounters{}
+		}
+		sum.invokeHits += c.invokeHits
+		sum.invokeMisses += c.invokeMisses
+		sum.internHits += c.internHits
+		sum.internMisses += c.internMisses
+	}
+	return sum
+}
+
 // cacheDelta turns two scrapes into the report's cache block; nil when
 // either scrape failed.
 func cacheDelta(before, after cacheCounters) *CacheReport {
@@ -629,27 +735,26 @@ type opStats struct {
 // runStats is the mutex-guarded collector shared by the workers. A load
 // tool's own contention is irrelevant next to the network round trip.
 type runStats struct {
-	mu    sync.Mutex
-	ops   map[string]*opStats
-	drops int
-	jobs  JobsReport
+	mu       sync.Mutex
+	ops      map[string]*opStats
+	backends map[string]*opStats
+	affinity int
+	drops    int
+	jobs     JobsReport
 }
 
 func newRunStats() *runStats {
-	return &runStats{ops: map[string]*opStats{
-		"chat":     {},
-		"retrieve": {},
-	}}
+	return &runStats{
+		ops: map[string]*opStats{
+			"chat":     {},
+			"retrieve": {},
+		},
+		backends: map[string]*opStats{},
+	}
 }
 
-func (r *runStats) record(op string, status int, err error, d time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.ops[op]
-	if s == nil {
-		s = &opStats{}
-		r.ops[op] = s
-	}
+// tally applies one sample to an opStats bucket.
+func tally(s *opStats, status int, err error, d time.Duration) {
 	s.requests++
 	switch {
 	case err != nil:
@@ -664,6 +769,40 @@ func (r *runStats) record(op string, status int, err error, d time.Duration) {
 	}
 }
 
+// recordBackendLocked mirrors one sample into the per-backend breakdown;
+// backend is empty when the target is a bare daemon (no X-Backend header).
+func (r *runStats) recordBackendLocked(backend string, status int, err error, d time.Duration) {
+	if backend == "" {
+		return
+	}
+	s := r.backends[backend]
+	if s == nil {
+		s = &opStats{}
+		r.backends[backend] = s
+	}
+	tally(s, status, err, d)
+}
+
+func (r *runStats) record(op, backend string, status int, err error, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.ops[op]
+	if s == nil {
+		s = &opStats{}
+		r.ops[op] = s
+	}
+	tally(s, status, err, d)
+	r.recordBackendLocked(backend, status, err, d)
+}
+
+// affinityViolation counts one chat that a router served off its session's
+// home backend — any nonzero count is a routing bug.
+func (r *runStats) affinityViolation() {
+	r.mu.Lock()
+	r.affinity++
+	r.mu.Unlock()
+}
+
 func (r *runStats) drop() {
 	r.mu.Lock()
 	r.drops++
@@ -675,9 +814,10 @@ func (r *runStats) drop() {
 // percentiles read as completion latency. A job that fails, is cancelled,
 // or never settles counts as an error on the op and is broken out in the
 // jobs block.
-func (r *runStats) recordJob(status int, outcome string, err error, d time.Duration) {
+func (r *runStats) recordJob(status int, outcome, backend string, err error, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.recordBackendLocked(backend, status, err, d)
 	s := r.ops["job"]
 	if s == nil {
 		s = &opStats{}
@@ -786,13 +926,22 @@ type Report struct {
 	// Reconnects counts requests that failed in transport (or answered 503)
 	// and then succeeded on a -restart-grace retry — nonzero means the run
 	// spanned a daemon restart or recovery window and rode it out.
-	Reconnects int                 `json:"reconnects"`
-	HealthzOK  bool                `json:"healthz_ok"`
-	MetricsOK  bool                `json:"metrics_ok"`
-	Total      OpReport            `json:"total"`
-	Ops        map[string]OpReport `json:"ops"`
-	Cache      *CacheReport        `json:"cache,omitempty"`
-	Jobs       *JobsReport         `json:"jobs,omitempty"`
+	Reconnects int `json:"reconnects"`
+	// Targets lists the base URLs of a multi-target (cluster) run.
+	Targets []string `json:"targets,omitempty"`
+	// AffinityViolations counts chats a router served off their session's
+	// home backend (per the X-Backend header). Zero is the only correct
+	// value; -strict enforces it.
+	AffinityViolations int                 `json:"affinity_violations"`
+	HealthzOK          bool                `json:"healthz_ok"`
+	MetricsOK          bool                `json:"metrics_ok"`
+	Total              OpReport            `json:"total"`
+	Ops                map[string]OpReport `json:"ops"`
+	// Backends breaks the run down by serving backend (X-Backend header),
+	// present when at least one response named its backend.
+	Backends map[string]OpReport `json:"backends,omitempty"`
+	Cache    *CacheReport        `json:"cache,omitempty"`
+	Jobs     *JobsReport         `json:"jobs,omitempty"`
 }
 
 func summarize(lat []float64, requests, ok, shed, errs int, elapsed time.Duration) OpReport {
@@ -869,6 +1018,13 @@ func (r *runStats) report(mode, target string, elapsed time.Duration, concurrenc
 		errs += s.errors
 	}
 	rep.Total = summarize(allLat, req, ok, shed, errs, elapsed)
+	rep.AffinityViolations = r.affinity
+	if len(r.backends) > 0 {
+		rep.Backends = make(map[string]OpReport, len(r.backends))
+		for name, s := range r.backends {
+			rep.Backends[name] = summarize(s.latencies, s.requests, s.ok, s.shed, s.errors, elapsed)
+		}
+	}
 	return rep
 }
 
@@ -891,6 +1047,17 @@ func (rep Report) print(w io.Writer) {
 		row(n, rep.Ops[n])
 	}
 	row("total", rep.Total)
+	if len(rep.Backends) > 0 {
+		bnames := make([]string, 0, len(rep.Backends))
+		for n := range rep.Backends {
+			bnames = append(bnames, n)
+		}
+		sort.Strings(bnames)
+		for _, n := range bnames {
+			row("@"+n, rep.Backends[n])
+		}
+		fmt.Fprintf(w, "session-affinity violations: %d\n", rep.AffinityViolations)
+	}
 	if rep.Drops > 0 {
 		fmt.Fprintf(w, "open-loop arrivals dropped at the client (all %d slots busy): %d\n", rep.Concurrency, rep.Drops)
 	}

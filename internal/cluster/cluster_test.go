@@ -1,0 +1,591 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"chatgraph/internal/metrics"
+)
+
+func jsonBody(v any) io.Reader {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return bytes.NewReader(data)
+}
+
+func jsonRaw(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// testPool builds a pool over synthetic backend names (no live servers)
+// with an isolated metrics registry.
+func testPool(t *testing.T, hosts ...string) *Pool {
+	t.Helper()
+	urls := make([]string, len(hosts))
+	for i, h := range hosts {
+		urls[i] = "http://" + h
+	}
+	p, err := NewPool(urls, Policy{}, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestHRWStability pins rendezvous hashing's defining property: removing
+// one backend re-homes exactly the keys it owned (~1/N of the keyspace)
+// and not one key owned by a survivor. This is what makes sessions survive
+// a pool member's death without a routing table.
+func TestHRWStability(t *testing.T) {
+	hosts := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080", "10.0.0.4:8080"}
+	full := testPool(t, hosts...)
+	reduced := testPool(t, hosts[:3]...) // drop 10.0.0.4
+	const removed = "10.0.0.4:8080"
+
+	const n = 10000
+	moved, ownedByRemoved := 0, 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		before := full.Owner(key).Name
+		after := reduced.Owner(key).Name
+		if before == removed {
+			ownedByRemoved++
+			continue // must move; anywhere among survivors is correct
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by survivors re-homed; rendezvous must move zero", moved)
+	}
+	// The removed backend should have owned ~1/4 of the keyspace.
+	frac := float64(ownedByRemoved) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("removed backend owned %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestHRWBalance checks the four backends split the keyspace roughly
+// evenly — a skewed split would make one replica the hot shard.
+func TestHRWBalance(t *testing.T) {
+	p := testPool(t, "a:1", "b:1", "c:1", "d:1")
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[p.Owner(fmt.Sprintf("key-%d", i)).Name]++
+	}
+	for name, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.20 || frac > 0.30 {
+			t.Fatalf("backend %s owns %.1f%% of keys, want ~25%%", name, 100*frac)
+		}
+	}
+}
+
+// TestOwnerIgnoresHealth pins the identity-vs-availability split: Owner is
+// computed over full membership even when the owner is down (the session
+// is unavailable, not re-homed), while FirstRoutable walks past it.
+func TestOwnerIgnoresHealth(t *testing.T) {
+	p := testPool(t, "a:1", "b:1", "c:1")
+	const key = "some-session-id"
+	owner := p.Owner(key)
+	for _, b := range p.backends {
+		if b != owner {
+			b.MarkSuccess()
+		}
+	}
+	// Owner stays down (born down, never probed up).
+	if got := p.Owner(key); got != owner {
+		t.Fatalf("Owner moved to %s when the true owner went down", got.Name)
+	}
+	fr := p.FirstRoutable(key)
+	if fr == nil || fr == owner {
+		t.Fatalf("FirstRoutable = %v, want a routable non-owner", fr)
+	}
+	// It must also be the *next* hop in rank order, not an arbitrary one.
+	rank := p.Rank(key)
+	if rank[0] != owner || fr != rank[1] {
+		t.Fatalf("rank order violated: rank[0]=%s rank[1]=%s first-routable=%s",
+			rank[0].Name, rank[1].Name, fr.Name)
+	}
+}
+
+// TestMintKeyFor verifies minted keys land on the requested backend — the
+// mechanism that pins freshly created sessions and jobs to the placement
+// target.
+func TestMintKeyFor(t *testing.T) {
+	p := testPool(t, "a:1", "b:1", "c:1", "d:1")
+	for _, target := range p.backends {
+		for i := 0; i < 8; i++ {
+			key := p.MintKeyFor(target)
+			if got := p.Owner(key); got != target {
+				t.Fatalf("minted key %q owned by %s, want %s", key, got.Name, target.Name)
+			}
+		}
+	}
+}
+
+// TestFailureStateMachine walks the marking machine end to end: born down,
+// promoted by success, tolerant of FailAfter-1 blips, down on the Nth,
+// cooled down before half-open, and straight back down on a failed
+// recovery probe.
+func TestFailureStateMachine(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p, err := NewPool([]string{"http://a:1"}, Policy{FailAfter: 3, RecoverAfter: 50 * time.Millisecond}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.backends[0]
+
+	if b.State() != StateDown || b.Routable() {
+		t.Fatalf("born state = %s, want down", b.State())
+	}
+	b.MarkSuccess()
+	if b.State() != StateUp || !b.Routable() {
+		t.Fatalf("after success state = %s, want up", b.State())
+	}
+	// FailAfter-1 consecutive failures keep it up; a success resets.
+	b.MarkFailure()
+	b.MarkFailure()
+	if b.State() != StateUp {
+		t.Fatalf("after 2 failures state = %s, want up", b.State())
+	}
+	b.MarkSuccess()
+	b.MarkFailure()
+	b.MarkFailure()
+	if b.State() != StateUp {
+		t.Fatalf("success must reset the failure count; state = %s", b.State())
+	}
+	b.MarkFailure()
+	if b.State() != StateDown {
+		t.Fatalf("after 3 consecutive failures state = %s, want down", b.State())
+	}
+	// Cooldown gates the recovery probe.
+	if b.BeginProbe(time.Now()) {
+		t.Fatal("BeginProbe allowed before cooldown")
+	}
+	if !b.BeginProbe(time.Now().Add(60 * time.Millisecond)) {
+		t.Fatal("BeginProbe refused after cooldown")
+	}
+	if b.State() != StateHalfOpen || b.Routable() {
+		t.Fatalf("state = %s, want half-open (and not routable)", b.State())
+	}
+	// A half-open backend is not probed twice concurrently.
+	if b.BeginProbe(time.Now().Add(time.Hour)) {
+		t.Fatal("BeginProbe allowed while half-open")
+	}
+	// Failed recovery probe: straight back down, one strike.
+	b.MarkFailure()
+	if b.State() != StateDown {
+		t.Fatalf("failed recovery probe left state %s, want down", b.State())
+	}
+	if !b.BeginProbe(time.Now().Add(time.Hour)) {
+		t.Fatal("BeginProbe refused after fresh cooldown")
+	}
+	b.MarkSuccess()
+	if b.State() != StateUp {
+		t.Fatalf("successful recovery probe left state %s, want up", b.State())
+	}
+}
+
+// --- router tests against fake backends ---
+
+// fakeBackend is a minimal chatgraphd stand-in: healthy, ready, and it
+// records what the router forwarded.
+type fakeBackend struct {
+	ts *httptest.Server
+
+	mu        sync.Mutex
+	hits      []string
+	jobBodies [][]byte
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{}
+	mux := http.NewServeMux()
+	ok := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v) //nolint:errcheck
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) { ok(w, map[string]string{"status": "ok"}) })
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) { ok(w, map[string]string{"status": "ok"}) })
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			SessionID string `json:"session_id"`
+		}
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck
+		w.WriteHeader(http.StatusCreated)
+		ok(w, map[string]string{"session_id": req.SessionID})
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, _ *http.Request) {
+		ok(w, map[string][]string{"sessions": {f.name() + "-s1", f.name() + "-s2"}})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, 0, 1024)
+		buf := make([]byte, 1024)
+		for {
+			n, err := r.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		f.mu.Lock()
+		f.jobBodies = append(f.jobBodies, body)
+		f.mu.Unlock()
+		var req struct {
+			JobID string `json:"job_id"`
+		}
+		json.Unmarshal(body, &req) //nolint:errcheck
+		w.WriteHeader(http.StatusAccepted)
+		ok(w, map[string]string{"job_id": req.JobID})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		ok(w, map[string]string{"served_by": f.name(), "path": r.URL.Path})
+	})
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.hits = append(f.hits, r.Method+" "+r.URL.Path)
+		f.mu.Unlock()
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeBackend) name() string { return f.ts.Listener.Addr().String() }
+
+func (f *fakeBackend) hitCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.hits)
+}
+
+// testRouter wires fakes into a pool, probes them up synchronously, and
+// serves the router.
+func testRouter(t *testing.T, fakes ...*fakeBackend) (*Pool, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(fakes))
+	for i, f := range fakes {
+		urls[i] = f.ts.URL
+	}
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(urls, Policy{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewProber(pool, time.Hour, time.Second).ProbeOnce()
+	for _, b := range pool.Backends() {
+		if !b.Routable() {
+			t.Fatalf("backend %s not up after probe", b.Name)
+		}
+	}
+	rt := httptest.NewServer(NewRouter(pool, Options{Registry: reg}).Handler())
+	t.Cleanup(rt.Close)
+	return pool, rt
+}
+
+// TestRouterSessionAffinity creates sessions through the router and checks
+// every follow-up request for a session lands on the backend that created
+// it — and that the backend matches the rendezvous owner of the minted id.
+func TestRouterSessionAffinity(t *testing.T) {
+	f1, f2 := newFakeBackend(t), newFakeBackend(t)
+	pool, rt := testRouter(t, f1, f2)
+
+	seen := map[string]bool{}
+	for i := 0; i < 16; i++ {
+		resp, err := http.Post(rt.URL+"/v1/sessions", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var created struct {
+			SessionID string `json:"session_id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&created) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated || created.SessionID == "" {
+			t.Fatalf("create: status=%d id=%q", resp.StatusCode, created.SessionID)
+		}
+		createdOn := resp.Header.Get("X-Backend")
+		if want := pool.Owner(created.SessionID).Name; createdOn != want {
+			t.Fatalf("session %s created on %s, but rendezvous owner is %s", created.SessionID, createdOn, want)
+		}
+		seen[createdOn] = true
+		for j := 0; j < 3; j++ {
+			hr, err := http.Get(rt.URL + "/v1/sessions/" + created.SessionID + "/history")
+			if err != nil {
+				t.Fatal(err)
+			}
+			hr.Body.Close()
+			if got := hr.Header.Get("X-Backend"); got != createdOn {
+				t.Fatalf("session %s follow-up landed on %s, created on %s", created.SessionID, got, createdOn)
+			}
+		}
+	}
+	// 16 sessions over 2 backends: both sides of the hash should be hit.
+	if len(seen) != 2 {
+		t.Fatalf("all sessions landed on one backend: %v", seen)
+	}
+}
+
+// TestRouterOwnerDownIs503 pins the no-re-home rule: when a session's
+// owner is down, its requests answer 503 naming the owner — they are never
+// silently served by a backend that has no such session.
+func TestRouterOwnerDownIs503(t *testing.T) {
+	f1, f2 := newFakeBackend(t), newFakeBackend(t)
+	pool, rt := testRouter(t, f1, f2)
+
+	resp, err := http.Post(rt.URL+"/v1/sessions", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&created) //nolint:errcheck
+	resp.Body.Close()
+
+	owner := pool.Owner(created.SessionID)
+	var other *Backend
+	for _, b := range pool.Backends() {
+		if b != owner {
+			other = b
+		}
+	}
+	otherHits := 0
+	for _, f := range []*fakeBackend{f1, f2} {
+		if f.name() == other.Name {
+			otherHits = f.hitCount()
+		}
+	}
+	// Take the owner down administratively.
+	for i := 0; i < 3; i++ {
+		owner.MarkFailure()
+	}
+
+	hr, err := http.Get(rt.URL + "/v1/sessions/" + created.SessionID + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("owner-down status = %d, want 503", hr.StatusCode)
+	}
+	if got := hr.Header.Get("X-Backend"); got != owner.Name {
+		t.Fatalf("503 names backend %q, want the down owner %q", got, owner.Name)
+	}
+	for _, f := range []*fakeBackend{f1, f2} {
+		if f.name() == other.Name && f.hitCount() != otherHits {
+			t.Fatal("surviving backend was asked about a session it does not own")
+		}
+	}
+}
+
+// TestRouterNeverRetriesNonIdempotent sends a chat POST whose owner is
+// unreachable (marked up, but the socket is dead): the router must answer
+// 502 without replaying the POST onto the surviving backend.
+func TestRouterNeverRetriesNonIdempotent(t *testing.T) {
+	dead := newFakeBackend(t)
+	live := newFakeBackend(t)
+	pool, rt := testRouter(t, dead, live)
+	deadName := dead.name()
+	dead.ts.Close() // socket gone, state still up
+
+	var deadB *Backend
+	for _, b := range pool.Backends() {
+		if b.Name == deadName {
+			deadB = b
+		}
+	}
+	key := pool.MintKeyFor(deadB)
+	liveBefore := live.hitCount()
+
+	resp, err := http.Post(rt.URL+"/v1/sessions/"+key+"/chat", "application/json",
+		jsonBody(map[string]string{"question": "q"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dead-owner chat status = %d, want 502", resp.StatusCode)
+	}
+	if live.hitCount() != liveBefore {
+		t.Fatal("non-idempotent chat POST was replayed onto another backend")
+	}
+}
+
+// TestRouterRetriesIdempotent drives idempotent GETs through a pool with a
+// dead-but-marked-up member: every request must still succeed via the next
+// hop, and the retry counter must move.
+func TestRouterRetriesIdempotent(t *testing.T) {
+	dead := newFakeBackend(t)
+	live := newFakeBackend(t)
+	urls := []string{dead.ts.URL, live.ts.URL}
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(urls, Policy{FailAfter: 100}, reg) // high threshold: stays "up" while dead
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewProber(pool, time.Hour, time.Second).ProbeOnce()
+	router := NewRouter(pool, Options{Registry: reg})
+	rt := httptest.NewServer(router.Handler())
+	t.Cleanup(rt.Close)
+	dead.ts.Close()
+
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(rt.URL + "/apis")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("idempotent GET %d status = %d, want 200 via next hop", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Backend"); got != live.name() {
+			t.Fatalf("GET served by %q, want %q", got, live.name())
+		}
+	}
+	if router.retries.Value() == 0 {
+		t.Fatal("round-robin never started on the dead backend; retry path untested")
+	}
+}
+
+// TestRouterFanoutMergesLists checks GET /v1/sessions through the router
+// is the union of every backend's list.
+func TestRouterFanoutMergesLists(t *testing.T) {
+	f1, f2 := newFakeBackend(t), newFakeBackend(t)
+	_, rt := testRouter(t, f1, f2)
+
+	resp, err := http.Get(rt.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fanout status = %d", resp.StatusCode)
+	}
+	var payload struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Sessions) != 4 {
+		t.Fatalf("merged %d sessions, want 4 (2 per backend): %v", len(payload.Sessions), payload.Sessions)
+	}
+}
+
+// TestRouterJobPlacementByContent submits the same graph-bearing job body
+// twice: both must land on the same backend (content-hash placement) with
+// a job id whose rendezvous owner is that backend, so later polls follow.
+func TestRouterJobPlacementByContent(t *testing.T) {
+	f1, f2 := newFakeBackend(t), newFakeBackend(t)
+	pool, rt := testRouter(t, f1, f2)
+
+	body := []byte(`{"question":"Summarize the statistics of the graph","graph":{"nodes":[{"id":0},{"id":1},{"id":2}],"edges":[{"from":0,"to":1},{"from":1,"to":2}]}}`)
+	var landed []string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(rt.URL+"/v1/jobs", "application/json", jsonRaw(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var created struct {
+			JobID string `json:"job_id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&created) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted || created.JobID == "" {
+			t.Fatalf("submit %d: status=%d id=%q", i, resp.StatusCode, created.JobID)
+		}
+		backend := resp.Header.Get("X-Backend")
+		landed = append(landed, backend)
+		if want := pool.Owner(created.JobID).Name; want != backend {
+			t.Fatalf("job %s landed on %s but its id is owned by %s", created.JobID, backend, want)
+		}
+	}
+	if landed[0] != landed[1] {
+		t.Fatalf("same graph placed on two backends: %v", landed)
+	}
+	// The forwarded body must still carry the original fields next to the
+	// injected job_id.
+	for _, f := range []*fakeBackend{f1, f2} {
+		f.mu.Lock()
+		for _, b := range f.jobBodies {
+			var req struct {
+				JobID    string          `json:"job_id"`
+				Question string          `json:"question"`
+				Graph    json.RawMessage `json:"graph"`
+			}
+			if err := json.Unmarshal(b, &req); err != nil {
+				f.mu.Unlock()
+				t.Fatalf("forwarded job body unparseable: %v", err)
+			}
+			if req.JobID == "" || req.Question == "" || len(req.Graph) == 0 {
+				f.mu.Unlock()
+				t.Fatalf("forwarded job body lost fields: %s", b)
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+// TestRouterReadyz follows the pool: ready with one backend up, 503 when
+// the pool is dark.
+func TestRouterReadyz(t *testing.T) {
+	f1 := newFakeBackend(t)
+	pool, rt := testRouter(t, f1)
+
+	resp, err := http.Get(rt.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with pool up = %d", resp.StatusCode)
+	}
+	for i := 0; i < 3; i++ {
+		pool.Backends()[0].MarkFailure()
+	}
+	resp, err = http.Get(rt.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with pool dark = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestInjectField pins the byte-splice used to pin job ids into bodies the
+// router must not re-encode.
+func TestInjectField(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`{}`, `{"job_id":"k"}`},
+		{`{"a":1}`, `{"job_id":"k","a":1}`},
+		{`  {"a":1}`, `  {"job_id":"k","a":1}`},
+		{`{ }`, `{"job_id":"k" }`},
+		{`not json`, `not json`},
+	}
+	for _, tc := range cases {
+		got := string(injectField([]byte(tc.in), "job_id", "k"))
+		if got != tc.want {
+			t.Errorf("injectField(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+		if tc.in == `not json` {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(got), &m); err != nil {
+			t.Errorf("injectField(%q) produced invalid JSON %q: %v", tc.in, got, err)
+		}
+	}
+}

@@ -154,6 +154,10 @@ var ErrQueueFull = errors.New("jobs: queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("jobs: manager closed")
 
+// ErrDuplicateID is returned by SubmitWithID when the pinned job ID is
+// already stored (queued, running, or retained finished).
+var ErrDuplicateID = errors.New("jobs: job id already exists")
+
 // Job is one submitted task plus its full lifecycle record. All mutable
 // fields are guarded by mu; ID, Priority, task, ctx, and cancel are set at
 // submission and never change.
@@ -357,6 +361,16 @@ func New(opts Options) *Manager {
 // Submit enqueues task at the given priority, returning the stored Job. A
 // full queue returns ErrQueueFull; a closed manager returns ErrClosed.
 func (m *Manager) Submit(pri Priority, task Task) (*Job, error) {
+	return m.SubmitWithID("", pri, task)
+}
+
+// SubmitWithID enqueues task under a caller-chosen job ID — the hook a
+// cluster router uses to make job identity routable: the router mints an ID
+// whose rendezvous hash selects the placement backend, so every later poll
+// or cancel for that ID hashes back to the owning backend with no lookup
+// table. An empty id mints a random one (plain Submit). A duplicate id
+// returns ErrDuplicateID.
+func (m *Manager) SubmitWithID(id string, pri Priority, task Task) (*Job, error) {
 	if pri < PriorityLow || pri > PriorityHigh {
 		pri = PriorityNormal
 	}
@@ -370,9 +384,14 @@ func (m *Manager) Submit(pri Priority, task Task) (*Job, error) {
 		m.met.shed.Inc()
 		return nil, ErrQueueFull
 	}
+	if id == "" {
+		id = newJobID()
+	} else if _, exists := m.jobs[id]; exists {
+		return nil, ErrDuplicateID
+	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		ID:        newJobID(),
+		ID:        id,
 		Priority:  pri,
 		task:      task,
 		ctx:       ctx,

@@ -31,6 +31,10 @@ type JobRequest struct {
 	Chain string `json:"chain,omitempty"`
 	// Priority is low, normal (default), or high.
 	Priority string `json:"priority,omitempty"`
+	// JobID optionally pins the new job's identity (8-64 lowercase hex).
+	// The cluster router mints it so the rendezvous hash of job id →
+	// backend keeps polls and cancels on the backend that owns the job.
+	JobID string `json:"job_id,omitempty"`
 }
 
 // JobInfo describes one job on the wire.
@@ -109,6 +113,10 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.JobID != "" && !validPinnedID(req.JobID) {
+		writeError(w, r, http.StatusBadRequest, ErrBadID.Error())
+		return
+	}
 	var g *graph.Graph
 	var graphSHA string
 	if len(req.Graph) > 0 {
@@ -155,8 +163,11 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		return chatResponse(turn), nil
 	}
-	j, err := s.jobs.Submit(pri, task)
+	j, err := s.jobs.SubmitWithID(req.JobID, pri, task)
 	switch {
+	case errors.Is(err, jobs.ErrDuplicateID):
+		writeError(w, r, http.StatusConflict, err.Error())
+		return
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, r, http.StatusTooManyRequests, "job queue full, retry later")

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// TestMaxRPSShedding pins the global rate gate: a MaxRPS=1 server admits
+// the bucket's burst and sheds the rest of a tight loop with 429 +
+// Retry-After. This is the knob the cluster experiments use to model
+// per-replica provisioned capacity.
+func TestMaxRPSShedding(t *testing.T) {
+	eng := slowEngine(t, 0)
+	srv, ts := newAdmissionServer(t, eng, Options{MaxRPS: 1})
+
+	sess := mustCreateSession(t, ts) // session create spends one token
+	body := chatBody(t)
+	var admitted, shed int
+	for i := 0; i < 10; i++ {
+		resp, err := http.Post(ts.URL+"/v1/sessions/"+sess.SessionID+"/chat", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			admitted++
+		case http.StatusTooManyRequests:
+			shed++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	// At 1 rps with burst 1 and the create having drained the bucket, a
+	// tight 10-request loop can admit at most a token or two of refill.
+	if shed < 8 {
+		t.Fatalf("admitted=%d shed=%d; want ≥8 shed", admitted, shed)
+	}
+	if got := srv.hm.shedRPS.Value(); got != uint64(shed) {
+		t.Fatalf("shedRPS metric = %v, want %d", got, shed)
+	}
+}

@@ -23,6 +23,7 @@ type httpMetrics struct {
 	gatedInFlight *metrics.Gauge
 	shedInFlight  *metrics.Counter
 	shedRate      *metrics.Counter
+	shedRPS       *metrics.Counter
 	routes        map[string]*routeMetrics
 }
 
@@ -46,6 +47,8 @@ func newHTTPMetrics(reg *metrics.Registry) *httpMetrics {
 			"Requests shed with 429.", metrics.Labels{"reason": "in_flight"}),
 		shedRate: reg.Counter("chatgraph_http_shed_total",
 			"Requests shed with 429.", metrics.Labels{"reason": "session_rate"}),
+		shedRPS: reg.Counter("chatgraph_http_shed_total",
+			"Requests shed with 429.", metrics.Labels{"reason": "max_rps"}),
 		routes: make(map[string]*routeMetrics),
 	}
 }
@@ -139,6 +142,21 @@ func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 			defer s.hm.gatedInFlight.Dec()
+		}
+		if rate := s.opts.MaxRPS; rate > 0 {
+			// Burst is ~a quarter second of budget so short arrival spikes
+			// ride through while the sustained rate holds at the cap.
+			burst := math.Max(1, math.Ceil(rate/4))
+			if ok, retry := s.globalBucket.take(rate, burst, time.Now()); !ok {
+				s.hm.shedRPS.Inc()
+				secs := int(math.Ceil(retry.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeError(w, r, http.StatusTooManyRequests, "server rate capacity exceeded, retry later")
+				return
+			}
 		}
 		if t := s.opts.RequestTimeout; t > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), t)

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,12 @@ type Options struct {
 	// (chat, retrieve, session CRUD); excess load is shed with 429 +
 	// Retry-After. 0 disables the gate.
 	MaxInFlight int
+	// MaxRPS caps the aggregate admitted request rate on the gated routes
+	// via a global token bucket; excess load is shed with 429 +
+	// Retry-After. This is how a replica declares its provisioned capacity
+	// to a fronting router tier: the router spreads load, each backend
+	// enforces its own budget. 0 disables the cap.
+	MaxRPS float64
 	// SessionRate is the per-session token-bucket refill rate in requests
 	// per second for chat; 0 disables rate limiting.
 	SessionRate float64
@@ -96,6 +103,8 @@ type Server struct {
 	// 503 and sheds the admission-gated routes. Servers without a durable
 	// store are born ready.
 	ready atomic.Bool
+	// globalBucket enforces Options.MaxRPS across every gated route.
+	globalBucket tokenBucket
 }
 
 // New returns a Server over eng.
@@ -244,9 +253,33 @@ func (s *Server) sessionInfo(m *managed) SessionInfo {
 	}
 }
 
+// SessionCreateRequest is the optional POST /v1/sessions body. SessionID
+// pins the new session's identity — the cluster router mints the ID so the
+// rendezvous hash of session id → backend lands every later request on the
+// creating backend. Plain clients send no body and get a minted ID.
+type SessionCreateRequest struct {
+	SessionID string `json:"session_id,omitempty"`
+}
+
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	m, err := s.mgr.Create()
-	if err != nil {
+	var req SessionCreateRequest
+	if r.Body != nil {
+		// An empty body is the common case and not an error; anything
+		// present must parse.
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<10)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+			return
+		}
+	}
+	m, err := s.mgr.CreateWithID(req.SessionID)
+	switch {
+	case errors.Is(err, ErrBadID):
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	case errors.Is(err, ErrSessionExists):
+		writeError(w, r, http.StatusConflict, err.Error())
+		return
+	case err != nil:
 		writeError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}

@@ -25,6 +25,14 @@ var ErrTooManySessions = fmt.Errorf("server: session limit reached")
 // ErrNoSession is returned by Get for unknown or expired session IDs.
 var ErrNoSession = fmt.Errorf("server: no such session")
 
+// ErrSessionExists is returned by Create when a caller-pinned session ID
+// collides with a live session.
+var ErrSessionExists = fmt.Errorf("server: session id already exists")
+
+// ErrBadID is returned when a caller-pinned session or job ID is not
+// lowercase hex of a sane length.
+var ErrBadID = fmt.Errorf("server: pinned id must be 8-64 lowercase hex characters")
+
 // managed is one live conversation plus its bookkeeping.
 type managed struct {
 	ID      string
@@ -84,9 +92,29 @@ func (sm *SessionManager) TTL() time.Duration { return sm.ttl }
 func (sm *SessionManager) Len() int { return int(sm.count.Load()) }
 
 // Create mints a new session, expiring idle ones first if at capacity.
-func (sm *SessionManager) Create() (*managed, error) {
+func (sm *SessionManager) Create() (*managed, error) { return sm.CreateWithID("") }
+
+// CreateWithID creates a session under a caller-chosen ID — the hook a
+// cluster router uses to pin a session onto the backend its rendezvous hash
+// selects: the router mints the ID, derives the owner from it, and forwards
+// the create with the ID attached, so every later request for that session
+// hashes back to the same backend with no routing table. An empty id mints
+// a random one (plain Create). Pinned IDs must be 8-64 lowercase hex
+// characters (ErrBadID) and must not collide with a live session
+// (ErrSessionExists).
+func (sm *SessionManager) CreateWithID(id string) (*managed, error) {
+	if id != "" && !validPinnedID(id) {
+		return nil, ErrBadID
+	}
 	sm.createMu.Lock()
 	defer sm.createMu.Unlock()
+	if id != "" {
+		if _, exists := sm.sessions.Load(id); exists {
+			return nil, ErrSessionExists
+		}
+	} else {
+		id = newSessionID()
+	}
 	if int(sm.count.Load()) >= sm.max {
 		sm.Sweep()
 		if int(sm.count.Load()) >= sm.max {
@@ -95,7 +123,7 @@ func (sm *SessionManager) Create() (*managed, error) {
 	}
 	now := time.Now()
 	m := &managed{
-		ID:      newSessionID(),
+		ID:      id,
 		Session: sm.eng.NewSession(),
 		Created: now,
 	}
@@ -199,6 +227,21 @@ func (sm *SessionManager) remove(id string) bool {
 
 // newSessionID returns a 128-bit random hex session identifier.
 func newSessionID() string { return randomHex(16) }
+
+// validPinnedID accepts 8-64 lowercase hex characters — the shape randomHex
+// produces, so pinned and minted IDs are indistinguishable on the wire.
+func validPinnedID(id string) bool {
+	if len(id) < 8 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // randomHex returns 2n hex characters of crypto/rand entropy.
 func randomHex(n int) string {
