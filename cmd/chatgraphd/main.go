@@ -49,6 +49,7 @@ import (
 	"chatgraph/internal/jobs"
 	"chatgraph/internal/llm"
 	"chatgraph/internal/server"
+	"chatgraph/internal/tenant"
 )
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 		sessionRate  = flag.Float64("session-rate", 0, "per-session chat rate limit in requests/sec (0 = unlimited)")
 		sessionBurst = flag.Int("session-burst", 0, "per-session rate-limit burst (0 = one second's worth)")
 		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-request context deadline on chat/retrieve; expired chats answer 504 (0 = none)")
+		tenantsPath  = flag.String("tenants", "", "multi-tenant config file (API keys, quotas, fair-share weights); empty = single anonymous tenant")
 		jobWorkers   = flag.Int("job-workers", jobs.DefaultWorkers, "async job pool size; each worker runs one /v1/jobs chain at a time")
 		jobQueue     = flag.Int("job-queue", jobs.DefaultQueueDepth, "async job queue depth; submissions beyond it shed with 429")
 		jobRetention = flag.Duration("job-retention", jobs.DefaultRetention, "how long finished jobs stay pollable before eviction")
@@ -142,6 +144,14 @@ func main() {
 			*dataDir, policy, recovered.Records, recovered.Truncations)
 	}
 
+	var tenants *tenant.Registry
+	if *tenantsPath != "" {
+		if tenants, err = tenant.LoadFile(*tenantsPath); err != nil {
+			log.Fatalf("chatgraphd: %v", err)
+		}
+		log.Printf("tenants: %d configured (+ anonymous), fair shares over max-inflight %d", len(tenants.Names())-1, *maxInFlight)
+	}
+
 	srv := server.New(eng, server.Options{
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
@@ -154,6 +164,7 @@ func main() {
 		JobQueue:       *jobQueue,
 		JobRetention:   *jobRetention,
 		Durable:        dstore,
+		Tenants:        tenants,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

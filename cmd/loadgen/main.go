@@ -33,6 +33,27 @@
 // deltas, so the cache effectiveness of a workload is part of the checked
 // in benchmark, not a separate observation.
 //
+// Scenario knobs turn the basic mix into a workload library:
+//
+//   - -tenant-keys "name=key,..." partitions the workers and the session
+//     pool over named tenants; every request carries its tenant's
+//     X-API-Key and the report gains a per-tenant breakdown, including
+//     each tenant's admitted-throughput share — the number the fairness
+//     CI gate compares against the configured weights.
+//   - -hostile-tenants names tenants whose workers mix adversarial
+//     requests (oversized uploads, malformed JSON, bad pinned IDs, probes
+//     at other tenants' sessions) into their traffic. The expected 4xxs
+//     land in a separate "rejected" column, not errors: a hostile tenant
+//     being rejected is the server working as designed.
+//   - -graphs > 1 draws each chat/job's graph from a zipf popularity
+//     distribution over a pool of distinct graphs: the head of the
+//     distribution exercises the intern and invoke caches the way popular
+//     documents do, while the tail defeats them.
+//   - -burst-every/-burst-len/-burst-mult modulate the open-loop schedule
+//     into bursty arrivals — baseline -rate with periodic windows at a
+//     multiple of it, the arrival shape that exposes admission behavior a
+//     steady rate hides.
+//
 // Example:
 //
 //	chatgraphd -addr :8080 &
@@ -82,6 +103,13 @@ func main() {
 		strict       = flag.Bool("strict", false, "exit 1 on any transport/status error or failed healthz//metrics probe")
 		readyWait    = flag.Duration("ready-wait", 0, "before the run, wait up to this long for GET /readyz to answer 200 (daemons without the endpoint count as ready)")
 		restartGrace = flag.Duration("restart-grace", 0, "retry transport errors and 503s with backoff for up to this long per request — lets a run span a daemon restart; recoveries are reported as reconnects")
+		tenantKeys   = flag.String("tenant-keys", "", "comma-separated name=key list; workers and the session pool are partitioned over the named tenants, every request carries its tenant's X-API-Key, and the report breaks results down per tenant")
+		hostileList  = flag.String("hostile-tenants", "", "comma-separated tenant names (from -tenant-keys) whose workers mix adversarial requests into their traffic; their expected 4xxs count as rejected, not errors")
+		hostileFrac  = flag.Float64("hostile-frac", 0.5, "fraction of a hostile tenant's operations that are adversarial")
+		graphsN      = flag.Int("graphs", 1, "distinct-graph pool size; > 1 picks each op's graph from a zipf popularity distribution over the pool")
+		burstEvery   = flag.Duration("burst-every", 0, "open loop: start an arrival burst this often (0 = steady arrivals)")
+		burstLen     = flag.Duration("burst-len", 500*time.Millisecond, "open loop: how long each burst lasts")
+		burstMult    = flag.Int("burst-mult", 5, "open loop: arrival-rate multiplier inside a burst")
 	)
 	flag.Parse()
 	if *mode != "closed" && *mode != "open" {
@@ -93,8 +121,24 @@ func main() {
 	if *jobsMix < 0 || *jobsMix > 1 {
 		log.Fatalf("loadgen: -jobs-mix must be in [0,1], got %g", *jobsMix)
 	}
+	if *hostileFrac < 0 || *hostileFrac > 1 {
+		log.Fatalf("loadgen: -hostile-frac must be in [0,1], got %g", *hostileFrac)
+	}
+	if *graphsN < 1 {
+		log.Fatalf("loadgen: -graphs must be >= 1, got %d", *graphsN)
+	}
+	if *burstMult < 1 {
+		log.Fatalf("loadgen: -burst-mult must be >= 1, got %d", *burstMult)
+	}
+	tenants, err := parseTenants(*tenantKeys, *hostileList)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
 	if *sessions <= 0 {
 		*sessions = *concurrency
+	}
+	if *sessions < len(tenants) {
+		*sessions = len(tenants)
 	}
 
 	// Cluster mode: with -targets, sessions and ops are partitioned over the
@@ -125,32 +169,40 @@ func main() {
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
-	// One modest social graph reused by every chat: the serving layer is
-	// under test, not the graph kernel.
-	g := graph.PlantedCommunities(2, 10, 0.5, 0.05, rng)
-	graphJSON, err := json.Marshal(g)
-	if err != nil {
-		log.Fatalf("loadgen: marshal graph: %v", err)
+	// The graph pool: with -graphs 1 (the default) one modest social graph
+	// is reused by every chat — the serving layer is under test, not the
+	// graph kernel. A larger pool holds distinct graphs, selected per op by
+	// a zipf popularity sampler, so cache behavior under skewed reuse is
+	// part of the workload.
+	chatBodies := make([][]byte, *graphsN)
+	jobBodies := make([][]byte, *graphsN)
+	for i := range chatBodies {
+		g := graph.PlantedCommunities(2, 10, 0.5, 0.05, rng)
+		graphJSON, merr := json.Marshal(g)
+		if merr != nil {
+			log.Fatalf("loadgen: marshal graph %d: %v", i, merr)
+		}
+		chatPayload := map[string]any{
+			"question": "Summarize the statistics of the graph",
+		}
+		if *reupload {
+			chatPayload["graph"] = json.RawMessage(graphJSON)
+		}
+		if chatBodies[i], merr = json.Marshal(chatPayload); merr != nil {
+			log.Fatalf("loadgen: marshal chat body: %v", merr)
+		}
+		// Jobs always carry the graph: the async path exists for graph-heavy
+		// chains, and reuploading exercises the intern layer under job
+		// traffic.
+		jobBodies[i], merr = json.Marshal(map[string]any{
+			"question": "Write a brief report for G",
+			"graph":    json.RawMessage(graphJSON),
+		})
+		if merr != nil {
+			log.Fatalf("loadgen: marshal job body: %v", merr)
+		}
 	}
-	chatPayload := map[string]any{
-		"question": "Summarize the statistics of the graph",
-	}
-	if *reupload {
-		chatPayload["graph"] = json.RawMessage(graphJSON)
-	}
-	chatBody, err := json.Marshal(chatPayload)
-	if err != nil {
-		log.Fatalf("loadgen: marshal chat body: %v", err)
-	}
-	// Jobs always carry the graph: the async path exists for graph-heavy
-	// chains, and reuploading exercises the intern layer under job traffic.
-	jobBody, err := json.Marshal(map[string]any{
-		"question": "Write a brief report for G",
-		"graph":    json.RawMessage(graphJSON),
-	})
-	if err != nil {
-		log.Fatalf("loadgen: marshal job body: %v", err)
-	}
+	hostileBodies := hostilePayloads()
 	retrieveQueries := []string{
 		"detect communities in the network",
 		"who are the most influential nodes",
@@ -165,17 +217,23 @@ func main() {
 		log.Fatalf("loadgen: marshal retrieve body: %v", err)
 	}
 
-	// Session pool, partitioned over the targets. createdOn remembers which
-	// backend (X-Backend) answered the create so every later chat on the
-	// session can be checked for affinity.
-	pool := make([]poolSession, 0, *sessions)
+	// Session pool, partitioned over the targets and the tenants. Each
+	// session is created under its tenant's key — sessions are
+	// tenant-owned, so a worker may only chat on sessions its own key can
+	// see. createdOn remembers which backend (X-Backend) answered the
+	// create so every later chat on the session can be checked for
+	// affinity.
+	pools := make([][]poolSession, len(tenants))
+	nSessions := 0
 	for i := 0; i < *sessions; i++ {
+		ti := i % len(tenants)
 		tgt := bases[i%len(bases)]
-		id, backend, err := createSession(rc, client, tgt)
+		id, backend, err := createSession(rc, client, tgt, tenants[ti].key)
 		if err != nil {
 			log.Fatalf("loadgen: create session %d on %s: %v", i, tgt, err)
 		}
-		pool = append(pool, poolSession{base: tgt, id: id, createdOn: backend})
+		pools[ti] = append(pools[ti], poolSession{base: tgt, id: id, createdOn: backend})
+		nSessions++
 	}
 
 	// Baseline cache counters: the cache block reports deltas over the run,
@@ -184,12 +242,24 @@ func main() {
 	cacheBefore := scrapeAllCacheCounters(client, bases)
 
 	run := newRunStats()
-	doOp := func(w *rand.Rand, worker int) {
+	doOp := func(w *rand.Rand, zipf *rand.Zipf, worker int) {
 		start := time.Now()
 		tgt := bases[worker%len(bases)]
+		tn := tenants[worker%len(tenants)]
+		gi := 0
+		if zipf != nil {
+			gi = int(zipf.Uint64())
+		}
+		if tn.hostile && w.Float64() < *hostileFrac {
+			hb := hostileBodies[w.Intn(len(hostileBodies))]
+			var meta respMeta
+			status, err := rc.post(client, tgt+hb.path, hb.body, tn.key, nil, &meta)
+			run.recordHostile(tn.name, meta.backend, status, err, time.Since(start))
+			return
+		}
 		if *jobsMix > 0 && w.Float64() < *jobsMix {
-			status, outcome, backend, err := runJob(rc, client, tgt, jobBody, *timeout)
-			run.recordJob(status, outcome, backend, err, time.Since(start))
+			status, outcome, backend, err := runJob(rc, client, tgt, jobBodies[gi], tn.key, *timeout)
+			run.recordJob(tn.name, status, outcome, backend, err, time.Since(start))
 			return
 		}
 		var (
@@ -200,8 +270,9 @@ func main() {
 		)
 		if w.Float64() < *chatFrac {
 			op = "chat"
-			sess := pool[worker%len(pool)]
-			status, err = rc.post(client, sess.base+"/v1/sessions/"+sess.id+"/chat", chatBody, nil, &meta)
+			sub := pools[worker%len(tenants)]
+			sess := sub[(worker/len(tenants))%len(sub)]
+			status, err = rc.post(client, sess.base+"/v1/sessions/"+sess.id+"/chat", chatBodies[gi], tn.key, nil, &meta)
 			// Affinity check: a session's chats must land where the session
 			// was created. Only checkable when both responses named a
 			// backend (i.e. the target is a router).
@@ -211,13 +282,13 @@ func main() {
 			}
 		} else {
 			op = "retrieve"
-			status, err = rc.post(client, tgt+"/v1/retrieve", retrieveBody, nil, &meta)
+			status, err = rc.post(client, tgt+"/v1/retrieve", retrieveBody, tn.key, nil, &meta)
 		}
-		run.record(op, meta.backend, status, err, time.Since(start))
+		run.record(op, tn.name, meta.backend, status, err, time.Since(start))
 	}
 
-	log.Printf("loadgen: %s loop against %s for %s (concurrency %d, sessions %d, chat-frac %.2f, jobs-mix %.2f)",
-		*mode, base, *duration, *concurrency, len(pool), *chatFrac, *jobsMix)
+	log.Printf("loadgen: %s loop against %s for %s (concurrency %d, sessions %d, tenants %d, chat-frac %.2f, jobs-mix %.2f)",
+		*mode, base, *duration, *concurrency, nSessions, len(tenants), *chatFrac, *jobsMix)
 	wallStart := time.Now()
 	deadline := wallStart.Add(*duration)
 	if *mode == "closed" {
@@ -227,8 +298,9 @@ func main() {
 			go func(wkr int) {
 				defer wg.Done()
 				w := rand.New(rand.NewSource(*seed + int64(wkr)*7919))
+				z := newZipf(w, *graphsN)
 				for time.Now().Before(deadline) {
-					doOp(w, wkr)
+					doOp(w, z, wkr)
 				}
 			}(wkr)
 		}
@@ -250,17 +322,26 @@ func main() {
 			if now.After(deadline) {
 				break
 			}
-			select {
-			case slots <- struct{}{}:
-				wg.Add(1)
-				go func(wkr int, w *rand.Rand) {
-					defer wg.Done()
-					defer func() { <-slots }()
-					doOp(w, wkr)
-				}(next, rand.New(rand.NewSource(*seed+int64(next)*7919)))
-				next++
-			default:
-				run.drop()
+			// Burst modulation: inside a burst window every tick dispatches
+			// -burst-mult arrivals instead of one, so the schedule alternates
+			// between the baseline rate and burst-mult times it.
+			arrivals := 1
+			if *burstEvery > 0 && now.Sub(wallStart)%*burstEvery < *burstLen {
+				arrivals = *burstMult
+			}
+			for a := 0; a < arrivals; a++ {
+				select {
+				case slots <- struct{}{}:
+					wg.Add(1)
+					go func(wkr int, w *rand.Rand) {
+						defer wg.Done()
+						defer func() { <-slots }()
+						doOp(w, newZipf(w, *graphsN), wkr)
+					}(next, rand.New(rand.NewSource(*seed+int64(next)*7919)))
+					next++
+				default:
+					run.drop()
+				}
 			}
 		}
 		wg.Wait()
@@ -278,13 +359,19 @@ func main() {
 	}
 	cacheAfter := scrapeAllCacheCounters(client, bases)
 
-	report := run.report(*mode, strings.Join(bases, ","), elapsed, *concurrency, *rate, *chatFrac, len(pool), healthzOK, metricsOK)
+	report := run.report(*mode, strings.Join(bases, ","), elapsed, *concurrency, *rate, *chatFrac, nSessions, healthzOK, metricsOK)
 	if len(bases) > 1 {
 		report.Targets = bases
 	}
 	report.Reupload = *reupload
 	report.Cache = cacheDelta(cacheBefore, cacheAfter)
 	report.JobsMix = *jobsMix
+	report.GraphPool = *graphsN
+	if *burstEvery > 0 {
+		report.BurstEveryS = round2(burstEvery.Seconds())
+		report.BurstLenS = round2(burstLen.Seconds())
+		report.BurstMult = *burstMult
+	}
 	report.Reconnects = int(rc.count.Load())
 	if report.Reconnects > 0 {
 		log.Printf("loadgen: %d requests recovered via retry (daemon restart or recovery window)", report.Reconnects)
@@ -293,7 +380,7 @@ func main() {
 		jr := run.jobsReport()
 		if *jobsProbe > 0 {
 			jr.ProbeSubmitted = *jobsProbe
-			jr.ProbeAccepted, jr.Probe429 = jobProbe(client, base, *seed, *jobsProbe)
+			jr.ProbeAccepted, jr.Probe429 = jobProbe(client, base, tenants[0].key, *seed, *jobsProbe)
 		}
 		report.Jobs = &jr
 	}
@@ -383,12 +470,117 @@ type poolSession struct {
 	createdOn string
 }
 
-// post posts body to url, retrying per the grace policy; when out is non-nil
-// a 2xx reply body is decoded into it, and when meta is non-nil it captures
-// response metadata from the final attempt.
-func (rc *reconnector) post(client *http.Client, url string, body []byte, out any, meta *respMeta) (status int, err error) {
+// apiKeyHeader mirrors server.APIKeyHeader; loadgen speaks the wire
+// protocol only, so the name is spelled out rather than imported.
+const apiKeyHeader = "X-API-Key"
+
+// tenantSpec is one -tenant-keys entry: the tenant's name, the API key its
+// requests carry, and whether its workers run the hostile profile.
+type tenantSpec struct {
+	name    string
+	key     string
+	hostile bool
+}
+
+// parseTenants turns -tenant-keys ("name=key,...") and -hostile-tenants
+// into the worker partition. With no tenants configured the run is a single
+// anonymous partition sending no API key.
+func parseTenants(keys, hostiles string) ([]tenantSpec, error) {
+	if keys == "" {
+		if hostiles != "" {
+			return nil, fmt.Errorf("-hostile-tenants requires -tenant-keys")
+		}
+		return []tenantSpec{{}}, nil
+	}
+	var specs []tenantSpec
+	seen := map[string]bool{}
+	for _, part := range strings.Split(keys, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, key, ok := strings.Cut(part, "=")
+		if !ok || name == "" || key == "" {
+			return nil, fmt.Errorf("-tenant-keys entry %q is not name=key", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-tenant-keys names %q twice", name)
+		}
+		seen[name] = true
+		specs = append(specs, tenantSpec{name: name, key: key})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-tenant-keys supplied but empty after parsing")
+	}
+	for _, h := range strings.Split(hostiles, ",") {
+		if h = strings.TrimSpace(h); h == "" {
+			continue
+		}
+		found := false
+		for i := range specs {
+			if specs[i].name == h {
+				specs[i].hostile = true
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("-hostile-tenants names %q, which is not in -tenant-keys", h)
+		}
+	}
+	return specs, nil
+}
+
+// hostileOp is one adversarial request shape: where it goes and what it
+// carries. A correct server answers every one of them with a 4xx.
+type hostileOp struct {
+	path string
+	body []byte
+}
+
+// hostilePayloads builds the adversarial set a hostile tenant mixes into
+// its traffic: an upload over the 8 MiB body cap, malformed JSON, a
+// malformed pinned job ID, and a probe at a session ID the tenant does not
+// own. Each one burns the hostile tenant's own admission slot and rate
+// tokens on the way to its 4xx — which is exactly the isolation property
+// under test: garbage traffic must cost its sender, not its neighbors.
+func hostilePayloads() []hostileOp {
+	oversized := make([]byte, 0, 9<<20+64)
+	oversized = append(oversized, []byte(`{"question":"flood","pad":"`)...)
+	oversized = append(oversized, bytes.Repeat([]byte{'A'}, 9<<20)...)
+	oversized = append(oversized, []byte(`"}`)...)
+	return []hostileOp{
+		{path: "/v1/jobs", body: oversized},
+		{path: "/v1/jobs", body: []byte(`{"question":"x","graph":{`)},
+		{path: "/v1/jobs", body: []byte(`{"question":"x","job_id":"NOT-LOWERCASE-HEX"}`)},
+		{path: "/v1/sessions/deadbeefdeadbeef/chat", body: []byte(`{"question":"whose session is this?"}`)},
+	}
+}
+
+// newZipf returns the graph-popularity sampler, nil when the pool holds one
+// graph. s=1.2 is a mild web-like skew: the head graph takes most draws but
+// the tail still gets visited.
+func newZipf(w *rand.Rand, n int) *rand.Zipf {
+	if n <= 1 {
+		return nil
+	}
+	return rand.NewZipf(w, 1.2, 1, uint64(n-1))
+}
+
+// post posts body to url, retrying per the grace policy; key (when
+// non-empty) rides the X-API-Key header; when out is non-nil a 2xx reply
+// body is decoded into it, and when meta is non-nil it captures response
+// metadata from the final attempt.
+func (rc *reconnector) post(client *http.Client, url string, body []byte, key string, out any, meta *respMeta) (status int, err error) {
 	err = rc.do(func() (bool, error) {
-		resp, perr := client.Post(url, "application/json", bytes.NewReader(body))
+		req, rerr := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if rerr != nil {
+			return false, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set(apiKeyHeader, key)
+		}
+		resp, perr := client.Do(req)
 		if perr != nil {
 			status = 0
 			return true, perr
@@ -416,7 +608,7 @@ func (rc *reconnector) post(client *http.Client, url string, body []byte, out an
 	return status, nil
 }
 
-func createSession(rc *reconnector, client *http.Client, base string) (id, backend string, err error) {
+func createSession(rc *reconnector, client *http.Client, base, key string) (id, backend string, err error) {
 	var info struct {
 		SessionID string `json:"session_id"`
 	}
@@ -426,7 +618,7 @@ func createSession(rc *reconnector, client *http.Client, base string) (id, backe
 	// finish building the pool before the measured window opens.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		status, perr := rc.post(client, base+"/v1/sessions", nil, &info, &meta)
+		status, perr := rc.post(client, base+"/v1/sessions", nil, key, &info, &meta)
 		if perr != nil {
 			return "", "", perr
 		}
@@ -492,10 +684,10 @@ func terminalJobState(s string) bool {
 // the submission status (for shed/error accounting); outcome is the job's
 // terminal state, or "stuck" if it never settled within timeout; backend
 // is the X-Backend that accepted the submission (empty off-cluster).
-func runJob(rc *reconnector, client *http.Client, base string, body []byte, timeout time.Duration) (status int, outcome, backend string, err error) {
+func runJob(rc *reconnector, client *http.Client, base string, body []byte, key string, timeout time.Duration) (status int, outcome, backend string, err error) {
 	var info jobInfo
 	var meta respMeta
-	status, err = rc.post(client, base+"/v1/jobs", body, &info, &meta)
+	status, err = rc.post(client, base+"/v1/jobs", body, key, &info, &meta)
 	backend = meta.backend
 	if err != nil {
 		return 0, "", backend, err
@@ -508,7 +700,7 @@ func runJob(rc *reconnector, client *http.Client, base string, body []byte, time
 	}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		st, err := getJobState(rc, client, base, info.JobID)
+		st, err := getJobState(rc, client, base, info.JobID, key)
 		if err != nil {
 			return status, "", backend, err
 		}
@@ -520,9 +712,18 @@ func runJob(rc *reconnector, client *http.Client, base string, body []byte, time
 	return status, "stuck", backend, nil
 }
 
-func getJobState(rc *reconnector, client *http.Client, base, id string) (state string, err error) {
+func getJobState(rc *reconnector, client *http.Client, base, id, key string) (state string, err error) {
 	err = rc.do(func() (bool, error) {
-		resp, gerr := client.Get(base + "/v1/jobs/" + id)
+		req, rerr := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if rerr != nil {
+			return false, rerr
+		}
+		if key != "" {
+			// Polling is ownership-checked: without the submitting tenant's
+			// key the job answers 404.
+			req.Header.Set(apiKeyHeader, key)
+		}
+		resp, gerr := client.Do(req)
 		if gerr != nil {
 			return true, gerr
 		}
@@ -556,7 +757,7 @@ func getJobState(rc *reconnector, client *http.Client, base, id string) (state s
 // cache-warm jobs drains as fast as it fills and never observes the queue
 // bound. Accepted jobs are cancelled afterwards so the probe leaves no
 // stragglers running.
-func jobProbe(client *http.Client, base string, seed int64, n int) (accepted, shed429 int) {
+func jobProbe(client *http.Client, base, key string, seed int64, n int) (accepted, shed429 int) {
 	bodies := make([][]byte, n)
 	for i := range bodies {
 		prng := rand.New(rand.NewSource(seed + 104729*int64(i+1)))
@@ -582,7 +783,15 @@ func jobProbe(client *http.Client, base string, seed int64, n int) (accepted, sh
 		wg.Add(1)
 		go func(body []byte) {
 			defer wg.Done()
-			resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if key != "" {
+				req.Header.Set(apiKeyHeader, key)
+			}
+			resp, err := client.Do(req)
 			if err != nil {
 				return
 			}
@@ -608,6 +817,9 @@ func jobProbe(client *http.Client, base string, seed int64, n int) (accepted, sh
 		req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
 		if err != nil {
 			continue
+		}
+		if key != "" {
+			req.Header.Set(apiKeyHeader, key)
 		}
 		if resp, err := client.Do(req); err == nil {
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck
@@ -725,9 +937,12 @@ func probe(client *http.Client, url, mustContain string) bool {
 
 // opStats accumulates one operation's samples.
 type opStats struct {
-	requests  int
-	ok        int
-	shed      int
+	requests int
+	ok       int
+	shed     int
+	// rejected counts expected 4xxs from a hostile tenant's adversarial
+	// requests — the server saying no, which is the desired outcome.
+	rejected  int
 	errors    int
 	latencies []float64 // seconds, successful (2xx) requests only
 }
@@ -738,6 +953,7 @@ type runStats struct {
 	mu       sync.Mutex
 	ops      map[string]*opStats
 	backends map[string]*opStats
+	tenants  map[string]*opStats
 	affinity int
 	drops    int
 	jobs     JobsReport
@@ -750,6 +966,7 @@ func newRunStats() *runStats {
 			"retrieve": {},
 		},
 		backends: map[string]*opStats{},
+		tenants:  map[string]*opStats{},
 	}
 }
 
@@ -769,6 +986,20 @@ func tally(s *opStats, status int, err error, d time.Duration) {
 	}
 }
 
+// tenantLocked returns the named tenant's bucket; nil outside -tenant-keys
+// mode (the anonymous single-partition run has no per-tenant breakdown).
+func (r *runStats) tenantLocked(name string) *opStats {
+	if name == "" {
+		return nil
+	}
+	s := r.tenants[name]
+	if s == nil {
+		s = &opStats{}
+		r.tenants[name] = s
+	}
+	return s
+}
+
 // recordBackendLocked mirrors one sample into the per-backend breakdown;
 // backend is empty when the target is a bare daemon (no X-Backend header).
 func (r *runStats) recordBackendLocked(backend string, status int, err error, d time.Duration) {
@@ -783,7 +1014,7 @@ func (r *runStats) recordBackendLocked(backend string, status int, err error, d 
 	tally(s, status, err, d)
 }
 
-func (r *runStats) record(op, backend string, status int, err error, d time.Duration) {
+func (r *runStats) record(op, tenant, backend string, status int, err error, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.ops[op]
@@ -792,7 +1023,45 @@ func (r *runStats) record(op, backend string, status int, err error, d time.Dura
 		r.ops[op] = s
 	}
 	tally(s, status, err, d)
+	if ts := r.tenantLocked(tenant); ts != nil {
+		tally(ts, status, err, d)
+	}
 	r.recordBackendLocked(backend, status, err, d)
+}
+
+// recordHostile accounts one adversarial request. A 4xx other than 429 is
+// the expected outcome — the server rejecting garbage — and lands in the
+// rejected column; a 2xx means the server accepted something it should not
+// have, counted as ok so the anomaly stays visible in the report.
+func (r *runStats) recordHostile(tenant, backend string, status int, err error, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recordBackendLocked(backend, status, err, d)
+	apply := func(s *opStats) {
+		if s == nil {
+			return
+		}
+		s.requests++
+		switch {
+		case err != nil:
+			s.errors++
+		case status == http.StatusTooManyRequests:
+			s.shed++
+		case status >= 400 && status < 500:
+			s.rejected++
+		case status >= 200 && status < 300:
+			s.ok++
+		default:
+			s.errors++
+		}
+	}
+	s := r.ops["hostile"]
+	if s == nil {
+		s = &opStats{}
+		r.ops["hostile"] = s
+	}
+	apply(s)
+	apply(r.tenantLocked(tenant))
 }
 
 // affinityViolation counts one chat that a router served off its session's
@@ -814,39 +1083,51 @@ func (r *runStats) drop() {
 // percentiles read as completion latency. A job that fails, is cancelled,
 // or never settles counts as an error on the op and is broken out in the
 // jobs block.
-func (r *runStats) recordJob(status int, outcome, backend string, err error, d time.Duration) {
+func (r *runStats) recordJob(tenant string, status int, outcome, backend string, err error, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.recordBackendLocked(backend, status, err, d)
+	apply := func(s *opStats) {
+		if s == nil {
+			return
+		}
+		s.requests++
+		switch {
+		case err != nil:
+			s.errors++
+		case status == http.StatusTooManyRequests:
+			s.shed++
+		case status != http.StatusAccepted:
+			s.errors++
+		case outcome == "done":
+			s.ok++
+			s.latencies = append(s.latencies, d.Seconds())
+		default: // failed, cancelled, stuck
+			s.errors++
+		}
+	}
 	s := r.ops["job"]
 	if s == nil {
 		s = &opStats{}
 		r.ops["job"] = s
 	}
-	s.requests++
+	apply(s)
+	apply(r.tenantLocked(tenant))
 	switch {
 	case err != nil:
-		s.errors++
 	case status == http.StatusTooManyRequests:
-		s.shed++
 		r.jobs.Shed++
 	case status != http.StatusAccepted:
-		s.errors++
 	default:
 		r.jobs.Submitted++
 		switch outcome {
 		case "done":
-			s.ok++
-			s.latencies = append(s.latencies, d.Seconds())
 			r.jobs.Completed++
 		case "failed":
-			s.errors++
 			r.jobs.Failed++
 		case "cancelled":
-			s.errors++
 			r.jobs.Cancelled++
 		default: // stuck
-			s.errors++
 			r.jobs.Stuck++
 		}
 	}
@@ -868,13 +1149,27 @@ type LatencySummary struct {
 }
 
 // OpReport is one operation's (or the total's) aggregate in the report.
+// Rejected is nonzero only for hostile traffic: expected 4xxs, kept apart
+// from errors because a rejection is the server doing its job.
 type OpReport struct {
 	Requests      int            `json:"requests"`
 	OK            int            `json:"ok"`
 	Shed          int            `json:"shed"`
+	Rejected      int            `json:"rejected,omitempty"`
 	Errors        int            `json:"errors"`
 	ThroughputRPS float64        `json:"throughput_rps"`
 	Latency       LatencySummary `json:"latency"`
+}
+
+// TenantReport is one tenant's slice of a multi-tenant run. Admitted is
+// ok + rejected — requests the fair-admission gate let through, whatever
+// the handler then said about them — and AdmittedShare is this tenant's
+// fraction of all admitted requests, the number the fairness CI gate
+// compares against the tenant's configured weight share.
+type TenantReport struct {
+	OpReport
+	Admitted      int     `json:"admitted"`
+	AdmittedShare float64 `json:"admitted_share"`
 }
 
 // CacheReport is the server-side cache behavior over one run, computed as
@@ -922,6 +1217,12 @@ type Report struct {
 	Sessions    int     `json:"sessions"`
 	Reupload    bool    `json:"reupload"`
 	JobsMix     float64 `json:"jobs_mix,omitempty"`
+	// GraphPool is the distinct-graph pool size (zipf-selected when > 1).
+	GraphPool int `json:"graph_pool,omitempty"`
+	// Burst fields echo the open-loop burst schedule when one was set.
+	BurstEveryS float64 `json:"burst_every_s,omitempty"`
+	BurstLenS   float64 `json:"burst_len_s,omitempty"`
+	BurstMult   int     `json:"burst_mult,omitempty"`
 	Drops       int     `json:"open_loop_drops,omitempty"`
 	// Reconnects counts requests that failed in transport (or answered 503)
 	// and then succeeded on a -restart-grace retry — nonzero means the run
@@ -940,19 +1241,22 @@ type Report struct {
 	// Backends breaks the run down by serving backend (X-Backend header),
 	// present when at least one response named its backend.
 	Backends map[string]OpReport `json:"backends,omitempty"`
-	Cache    *CacheReport        `json:"cache,omitempty"`
-	Jobs     *JobsReport         `json:"jobs,omitempty"`
+	// Tenants breaks a -tenant-keys run down per tenant; AdmittedShare
+	// sums to 1 across the entries.
+	Tenants map[string]TenantReport `json:"tenants,omitempty"`
+	Cache   *CacheReport            `json:"cache,omitempty"`
+	Jobs    *JobsReport             `json:"jobs,omitempty"`
 }
 
-func summarize(lat []float64, requests, ok, shed, errs int, elapsed time.Duration) OpReport {
-	rep := OpReport{Requests: requests, OK: ok, Shed: shed, Errors: errs}
+func summarize(s *opStats, elapsed time.Duration) OpReport {
+	rep := OpReport{Requests: s.requests, OK: s.ok, Shed: s.shed, Rejected: s.rejected, Errors: s.errors}
 	if elapsed > 0 {
-		rep.ThroughputRPS = round2(float64(ok) / elapsed.Seconds())
+		rep.ThroughputRPS = round2(float64(s.ok) / elapsed.Seconds())
 	}
-	if len(lat) == 0 {
+	if len(s.latencies) == 0 {
 		return rep
 	}
-	sorted := append([]float64(nil), lat...)
+	sorted := append([]float64(nil), s.latencies...)
 	sort.Float64s(sorted)
 	sum := 0.0
 	for _, v := range sorted {
@@ -988,6 +1292,8 @@ func roundMS(seconds float64) float64 { return round2(seconds * 1000) }
 
 func round2(v float64) float64 { return math.Round(v*100) / 100 }
 
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }
+
 func (r *runStats) report(mode, target string, elapsed time.Duration, concurrency int, rate, chatFrac float64, sessions int, healthzOK, metricsOK bool) Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -1007,22 +1313,36 @@ func (r *runStats) report(mode, target string, elapsed time.Duration, concurrenc
 	if mode == "open" {
 		rep.RateRPS = rate
 	}
-	var allLat []float64
-	var req, ok, shed, errs int
+	var total opStats
 	for name, s := range r.ops {
-		rep.Ops[name] = summarize(s.latencies, s.requests, s.ok, s.shed, s.errors, elapsed)
-		allLat = append(allLat, s.latencies...)
-		req += s.requests
-		ok += s.ok
-		shed += s.shed
-		errs += s.errors
+		rep.Ops[name] = summarize(s, elapsed)
+		total.latencies = append(total.latencies, s.latencies...)
+		total.requests += s.requests
+		total.ok += s.ok
+		total.shed += s.shed
+		total.rejected += s.rejected
+		total.errors += s.errors
 	}
-	rep.Total = summarize(allLat, req, ok, shed, errs, elapsed)
+	rep.Total = summarize(&total, elapsed)
 	rep.AffinityViolations = r.affinity
 	if len(r.backends) > 0 {
 		rep.Backends = make(map[string]OpReport, len(r.backends))
 		for name, s := range r.backends {
-			rep.Backends[name] = summarize(s.latencies, s.requests, s.ok, s.shed, s.errors, elapsed)
+			rep.Backends[name] = summarize(s, elapsed)
+		}
+	}
+	if len(r.tenants) > 0 {
+		admittedTotal := 0
+		for _, s := range r.tenants {
+			admittedTotal += s.ok + s.rejected
+		}
+		rep.Tenants = make(map[string]TenantReport, len(r.tenants))
+		for name, s := range r.tenants {
+			tr := TenantReport{OpReport: summarize(s, elapsed), Admitted: s.ok + s.rejected}
+			if admittedTotal > 0 {
+				tr.AdmittedShare = round4(float64(tr.Admitted) / float64(admittedTotal))
+			}
+			rep.Tenants[name] = tr
 		}
 	}
 	return rep
@@ -1031,11 +1351,11 @@ func (r *runStats) report(mode, target string, elapsed time.Duration, concurrenc
 func (rep Report) print(w io.Writer) {
 	fmt.Fprintf(w, "\nloadgen %s loop · %s · %.1fs · healthz=%v metrics=%v\n",
 		rep.Mode, rep.Target, rep.DurationS, rep.HealthzOK, rep.MetricsOK)
-	fmt.Fprintf(w, "%-10s %8s %8s %6s %6s %10s %8s %8s %8s\n",
-		"op", "requests", "ok", "shed", "errs", "thru r/s", "p50 ms", "p95 ms", "p99 ms")
+	fmt.Fprintf(w, "%-14s %8s %8s %6s %6s %6s %10s %8s %8s %8s\n",
+		"op", "requests", "ok", "shed", "rej", "errs", "thru r/s", "p50 ms", "p95 ms", "p99 ms")
 	row := func(name string, s OpReport) {
-		fmt.Fprintf(w, "%-10s %8d %8d %6d %6d %10.1f %8.1f %8.1f %8.1f\n",
-			name, s.Requests, s.OK, s.Shed, s.Errors, s.ThroughputRPS,
+		fmt.Fprintf(w, "%-14s %8d %8d %6d %6d %6d %10.1f %8.1f %8.1f %8.1f\n",
+			name, s.Requests, s.OK, s.Shed, s.Rejected, s.Errors, s.ThroughputRPS,
 			s.Latency.P50, s.Latency.P95, s.Latency.P99)
 	}
 	names := make([]string, 0, len(rep.Ops))
@@ -1047,6 +1367,21 @@ func (rep Report) print(w io.Writer) {
 		row(n, rep.Ops[n])
 	}
 	row("total", rep.Total)
+	if len(rep.Tenants) > 0 {
+		tnames := make([]string, 0, len(rep.Tenants))
+		for n := range rep.Tenants {
+			tnames = append(tnames, n)
+		}
+		sort.Strings(tnames)
+		for _, n := range tnames {
+			row("t:"+n, rep.Tenants[n].OpReport)
+		}
+		fmt.Fprintf(w, "admitted share:")
+		for _, n := range tnames {
+			fmt.Fprintf(w, " %s=%.3f", n, rep.Tenants[n].AdmittedShare)
+		}
+		fmt.Fprintln(w)
+	}
 	if len(rep.Backends) > 0 {
 		bnames := make([]string, 0, len(rep.Backends))
 		for n := range rep.Backends {

@@ -13,6 +13,7 @@ import (
 
 	"chatgraph/internal/metrics"
 	"chatgraph/internal/server"
+	"chatgraph/internal/tenant"
 )
 
 // Options tunes the Router.
@@ -29,6 +30,11 @@ type Options struct {
 	// fanout); per-backend series were bound when the Pool was built.
 	// nil → metrics.Default().
 	Registry *metrics.Registry
+	// Tenants, when set, labels router traffic per tenant (the same
+	// bounded set the backends use, plus "unknown" for unrecognized
+	// keys). The router never rejects on tenancy — backends own
+	// enforcement — it only forwards the API key header and observes.
+	Tenants *tenant.Registry
 }
 
 // Router is the cluster front door: an HTTP reverse proxy that owns
@@ -48,6 +54,11 @@ type Router struct {
 	retries       *metrics.Counter
 	unroutable    *metrics.Counter
 	fanoutPartial *metrics.Counter
+
+	// tenants maps API keys to bounded label values; tenantSeries holds
+	// one pre-resolved counter per possible value (nil without -tenants).
+	tenants      *tenant.Registry
+	tenantSeries map[string]*metrics.Counter
 }
 
 // NewRouter builds a Router over pool.
@@ -67,7 +78,7 @@ func NewRouter(pool *Pool, opts Options) *Router {
 	if maxBody <= 0 {
 		maxBody = 8<<20 + 64<<10
 	}
-	return &Router{
+	rt := &Router{
 		pool:      pool,
 		transport: tr,
 		maxBody:   maxBody,
@@ -79,6 +90,16 @@ func NewRouter(pool *Pool, opts Options) *Router {
 		fanoutPartial: reg.Counter("chatgraph_router_fanout_partial_total",
 			"List fan-outs that merged fewer backends than are configured.", nil),
 	}
+	if opts.Tenants != nil {
+		rt.tenants = opts.Tenants
+		rt.tenantSeries = make(map[string]*metrics.Counter)
+		for _, name := range append(opts.Tenants.Names(), "unknown") {
+			rt.tenantSeries[name] = reg.Counter("chatgraph_router_tenant_requests_total",
+				"Proxied requests per tenant (by API key; unknown keys pool under \"unknown\").",
+				metrics.Labels{"tenant": name})
+		}
+	}
+	return rt
 }
 
 // Handler returns the router's route table: its own health/readiness/
@@ -107,6 +128,11 @@ func (rt *Router) Handler() http.Handler {
 
 // route is the proxy catch-all: classify, buffer, dispatch.
 func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	if rt.tenants != nil {
+		// Observation only: the label set is bounded at construction, so
+		// key-spraying cannot mint series.
+		rt.tenantSeries[rt.tenants.NameForKey(r.Header.Get(server.APIKeyHeader))].Inc()
+	}
 	aff := server.ClassifyRoute(r.Method, r.URL.Path)
 	body, ok := rt.readBody(w, r)
 	if !ok {

@@ -60,6 +60,9 @@ type SessionRecord struct {
 	ID string `json:"id"`
 	// CreatedUnixNS is set on RecSessionCreate only.
 	CreatedUnixNS int64 `json:"created_unix_ns,omitempty"`
+	// Tenant names the owning tenant on RecSessionCreate. Empty (all
+	// pre-tenancy WALs) recovers as the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // TurnRecord is one transcript entry in the same wire shape the transcript
@@ -88,7 +91,9 @@ type GraphRecord struct {
 // error). A job whose submit record survives a crash without a matching
 // terminal record is restored as failed ("interrupted by restart").
 type JobRecord struct {
-	ID       string `json:"id"`
+	ID string `json:"id"`
+	// Tenant names the owning tenant (empty → anonymous).
+	Tenant   string `json:"tenant,omitempty"`
 	Priority string `json:"priority"`
 	Question string `json:"question,omitempty"`
 	Chain    string `json:"chain,omitempty"`
@@ -107,6 +112,7 @@ type JobRecord struct {
 // ManifestSession is one live session's full state inside a snapshot.
 type ManifestSession struct {
 	ID             string       `json:"id"`
+	Tenant         string       `json:"tenant,omitempty"`
 	CreatedUnixNS  int64        `json:"created_unix_ns"`
 	LastUsedUnixNS int64        `json:"last_used_unix_ns"`
 	Turns          []TurnRecord `json:"turns,omitempty"`
@@ -134,6 +140,7 @@ const manifestVersion = 1
 // SessionState is one session's recovered state.
 type SessionState struct {
 	ID       string
+	Tenant   string
 	Created  time.Time
 	LastUsed time.Time
 	Turns    []TurnRecord
@@ -175,6 +182,7 @@ func (st *State) loadManifest(m *Manifest) {
 		ms := &m.Sessions[i]
 		st.Sessions[ms.ID] = &SessionState{
 			ID:       ms.ID,
+			Tenant:   ms.Tenant,
 			Created:  time.Unix(0, ms.CreatedUnixNS),
 			LastUsed: time.Unix(0, ms.LastUsedUnixNS),
 			Turns:    append([]TurnRecord(nil), ms.Turns...),
@@ -217,6 +225,7 @@ func (st *State) Apply(rec *Record) {
 		}
 		st.Sessions[rec.Session.ID] = &SessionState{
 			ID:       rec.Session.ID,
+			Tenant:   rec.Session.Tenant,
 			Created:  created,
 			LastUsed: ts,
 		}
@@ -271,6 +280,9 @@ func (st *State) Apply(rec *Record) {
 			}
 			if j.GraphSHA == "" {
 				j.GraphSHA = prev.GraphSHA
+			}
+			if j.Tenant == "" {
+				j.Tenant = prev.Tenant
 			}
 			if j.SubmittedUnixNS == 0 {
 				j.SubmittedUnixNS = prev.SubmittedUnixNS

@@ -438,9 +438,10 @@ func (s *Store) Append(rec *Record) error {
 
 // Typed append helpers — one per record type the serving layer emits.
 
-// LogSessionCreate records a session coming alive.
-func (s *Store) LogSessionCreate(id string, created time.Time) error {
-	return s.Append(&Record{Type: RecSessionCreate, Session: &SessionRecord{ID: id, CreatedUnixNS: created.UnixNano()}})
+// LogSessionCreate records a session coming alive under its owning
+// tenant (empty tenant → anonymous).
+func (s *Store) LogSessionCreate(id string, created time.Time, tenant string) error {
+	return s.Append(&Record{Type: RecSessionCreate, Session: &SessionRecord{ID: id, CreatedUnixNS: created.UnixNano(), Tenant: tenant}})
 }
 
 // LogSessionDelete records an explicit session delete.

@@ -29,7 +29,7 @@ func TestStoreAppendReopen(t *testing.T) {
 	}
 
 	created := time.Now()
-	if err := st.LogSessionCreate("sess-1", created); err != nil {
+	if err := st.LogSessionCreate("sess-1", created, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.LogTurn(TurnRecord{SessionID: "sess-1", Index: 0, Question: "q0", Kind: "social", Chain: "graph.stats", Answer: "a0", ElapsedMS: 12}); err != nil {
@@ -38,7 +38,7 @@ func TestStoreAppendReopen(t *testing.T) {
 	if err := st.LogTurn(TurnRecord{SessionID: "sess-1", Index: 1, Question: "q1", Answer: "a1"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.LogSessionCreate("sess-2", created); err != nil {
+	if err := st.LogSessionCreate("sess-2", created, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.LogSessionDelete("sess-2"); err != nil {
@@ -100,7 +100,7 @@ func TestStoreAppendReopen(t *testing.T) {
 func TestStoreTornTail(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openStore(t, dir, SyncAlways)
-	if err := st.LogSessionCreate("kept", time.Now()); err != nil {
+	if err := st.LogSessionCreate("kept", time.Now(), ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.LogTurn(TurnRecord{SessionID: "kept", Index: 0, Answer: "kept answer"}); err != nil {
@@ -144,7 +144,7 @@ func TestStoreSnapshotRotatePrune(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openStore(t, dir, SyncAlways)
 	defer st.Close()
-	if err := st.LogSessionCreate("pre", time.Now()); err != nil {
+	if err := st.LogSessionCreate("pre", time.Now(), ""); err != nil {
 		t.Fatal(err)
 	}
 	sessions := []ManifestSession{{
@@ -174,7 +174,7 @@ func TestStoreSnapshotRotatePrune(t *testing.T) {
 	}
 
 	// Records after the snapshot land in segment 2 and replay on top of it.
-	if err := st.LogSessionCreate("post", time.Now()); err != nil {
+	if err := st.LogSessionCreate("post", time.Now(), ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Snapshot(func() ([]ManifestSession, []JobRecord) { return sessions, jobsList }); err != nil {

@@ -164,6 +164,10 @@ var ErrDuplicateID = errors.New("jobs: job id already exists")
 type Job struct {
 	// ID is the random identifier handed back to the submitter.
 	ID string
+	// Owner names the tenant the job was submitted under; the serving
+	// layer answers cross-tenant access as if the job did not exist.
+	// Empty means the anonymous tenant (pre-tenancy records).
+	Owner string
 	// Priority is the queue class the job was submitted under.
 	Priority Priority
 
@@ -190,6 +194,7 @@ type Job struct {
 // Status is a point-in-time copy of a job's externally visible state.
 type Status struct {
 	ID        string
+	Owner     string
 	Priority  Priority
 	State     State
 	Submitted time.Time
@@ -211,6 +216,7 @@ func (j *Job) Status() Status {
 	defer j.mu.Unlock()
 	return Status{
 		ID:        j.ID,
+		Owner:     j.Owner,
 		Priority:  j.Priority,
 		State:     j.state,
 		Submitted: j.submitted,
@@ -371,6 +377,12 @@ func (m *Manager) Submit(pri Priority, task Task) (*Job, error) {
 // table. An empty id mints a random one (plain Submit). A duplicate id
 // returns ErrDuplicateID.
 func (m *Manager) SubmitWithID(id string, pri Priority, task Task) (*Job, error) {
+	return m.SubmitOwned(id, "", pri, task)
+}
+
+// SubmitOwned is SubmitWithID with the owning tenant's name recorded on
+// the job; ownership decides who may poll, stream, or cancel it.
+func (m *Manager) SubmitOwned(id, owner string, pri Priority, task Task) (*Job, error) {
 	if pri < PriorityLow || pri > PriorityHigh {
 		pri = PriorityNormal
 	}
@@ -392,6 +404,7 @@ func (m *Manager) SubmitWithID(id string, pri Priority, task Task) (*Job, error)
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
 		ID:        id,
+		Owner:     owner,
 		Priority:  pri,
 		task:      task,
 		ctx:       ctx,
@@ -626,7 +639,7 @@ func (m *Manager) observeTerminal(j *Job) {
 // fire OnTerminal and do not count in the outcome metrics — both already
 // happened in a previous incarnation. ok is false if the ID is already
 // present, the state is non-terminal, or the manager is closed.
-func (m *Manager) Restore(id string, pri Priority, st State, submitted, started, finished time.Time, result any, jerr error) bool {
+func (m *Manager) Restore(id, owner string, pri Priority, st State, submitted, started, finished time.Time, result any, jerr error) bool {
 	if !st.Terminal() || id == "" {
 		return false
 	}
@@ -635,6 +648,7 @@ func (m *Manager) Restore(id string, pri Priority, st State, submitted, started,
 	}
 	j := &Job{
 		ID:        id,
+		Owner:     owner,
 		Priority:  pri,
 		state:     st,
 		submitted: submitted,

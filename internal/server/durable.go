@@ -49,7 +49,7 @@ func (s *Server) logSessionCreate(m *managed) {
 	if s.opts.Durable == nil {
 		return
 	}
-	if err := s.opts.Durable.LogSessionCreate(m.ID, m.Created); err != nil {
+	if err := s.opts.Durable.LogSessionCreate(m.ID, m.Created, m.Tenant); err != nil {
 		log.Printf("server: durable: session create %s: %v", m.ID, err)
 	}
 	s.attachTurnLog(m)
@@ -115,6 +115,7 @@ func (s *Server) logJobSubmit(j *jobs.Job, req JobRequest, graphSHA string) {
 	st := j.Status()
 	err := s.opts.Durable.LogJobSubmit(durable.JobRecord{
 		ID:              st.ID,
+		Tenant:          st.Owner,
 		Priority:        st.Priority.String(),
 		Question:        req.Question,
 		Chain:           req.Chain,
@@ -137,6 +138,7 @@ func (s *Server) onJobTerminal(st jobs.Status) {
 	}
 	rec := durable.JobRecord{
 		ID:              st.ID,
+		Tenant:          st.Owner,
 		Priority:        st.Priority.String(),
 		State:           st.State.String(),
 		SubmittedUnixNS: unixNS(st.Submitted),
@@ -199,7 +201,7 @@ func (s *Server) Recover(st *durable.State) error {
 			expired++
 			continue
 		}
-		m, err := s.mgr.Restore(ss.ID, ss.Created, ss.LastUsed)
+		m, err := s.mgr.Restore(ss.ID, ss.Created, ss.LastUsed, ss.Tenant)
 		if err != nil {
 			log.Printf("server: recover: session %s: %v", ss.ID, err)
 			continue
@@ -268,7 +270,7 @@ func (s *Server) Recover(st *durable.State) error {
 			}
 			return time.Unix(0, ns)
 		}
-		if s.jobs.Restore(rec.ID, pri, jst, toTime(rec.SubmittedUnixNS), toTime(rec.StartedUnixNS), toTime(rec.FinishedUnixNS), result, jerr) {
+		if s.jobs.Restore(rec.ID, rec.Tenant, pri, jst, toTime(rec.SubmittedUnixNS), toTime(rec.StartedUnixNS), toTime(rec.FinishedUnixNS), result, jerr) {
 			restoredJobs++
 		}
 	}
@@ -296,6 +298,7 @@ func (s *Server) Checkpoint() error {
 			hist := m.Session.History()
 			ms := durable.ManifestSession{
 				ID:             m.ID,
+				Tenant:         m.Tenant,
 				CreatedUnixNS:  m.Created.UnixNano(),
 				LastUsedUnixNS: m.lastUsed.Load(),
 				Turns:          make([]durable.TurnRecord, 0, len(hist)),
@@ -311,6 +314,7 @@ func (s *Server) Checkpoint() error {
 		for _, st := range all {
 			rec := durable.JobRecord{
 				ID:              st.ID,
+				Tenant:          st.Owner,
 				Priority:        st.Priority.String(),
 				State:           st.State.String(),
 				SubmittedUnixNS: unixNS(st.Submitted),

@@ -16,6 +16,7 @@ import (
 	"chatgraph/internal/durable"
 	"chatgraph/internal/finetune"
 	"chatgraph/internal/graph"
+	"chatgraph/internal/tenant"
 )
 
 var (
@@ -67,7 +68,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng1 := durableEngine(t)
-	srv1 := New(eng1, Options{Durable: dstore})
+	srv1 := New(eng1, Options{Durable: dstore, Tenants: durTenants(t)})
 	ts1 := httptest.NewServer(srv1.Handler())
 
 	// Before Recover the server must refuse gated work and fail readiness.
@@ -142,6 +143,28 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatalf("interned graphs = %d", interned)
 	}
 
+	// Tenant ownership must survive the crash: a keyed tenant's session and
+	// job have to come back owned (a fresh rate bucket is fine, lost
+	// ownership is not). The job is deliberately left running so its owner
+	// rides the submit record alone.
+	ownedResp := doReqJSON(t, http.MethodPost, ts1.URL+"/v1/sessions", "k-dur", nil)
+	if ownedResp.status != http.StatusCreated {
+		t.Fatalf("owned session create = %d", ownedResp.status)
+	}
+	ownedSID := ownedResp.body["session_id"].(string)
+	ownedChat, err := json.Marshal(ChatRequest{Question: "Write a brief report for G", Graph: gj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := doReq(t, http.MethodPost, ts1.URL+"/v1/sessions/"+ownedSID+"/chat", "k-dur", ownedChat); r.StatusCode != http.StatusOK {
+		t.Fatalf("owned chat = %d", r.StatusCode)
+	}
+	ownedJobResp := doReqJSON(t, http.MethodPost, ts1.URL+"/v1/jobs", "k-dur", ownedChat)
+	if ownedJobResp.status != http.StatusAccepted {
+		t.Fatalf("owned job submit = %d", ownedJobResp.status)
+	}
+	ownedJID := ownedJobResp.body["job_id"].(string)
+
 	// Crash: the store drops its file handle without flushing; nothing on
 	// the serving side gets a goodbye.
 	dstore.Abort()
@@ -163,7 +186,7 @@ func TestCrashRecovery(t *testing.T) {
 	if eng2.Graphs().Len() != 0 {
 		t.Fatalf("fresh engine graph store = %d", eng2.Graphs().Len())
 	}
-	srv2 := New(eng2, Options{Durable: dstore2})
+	srv2 := New(eng2, Options{Durable: dstore2, Tenants: durTenants(t)})
 	defer srv2.Close()
 	if err := srv2.Recover(state2); err != nil {
 		t.Fatal(err)
@@ -204,6 +227,23 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatalf("recovered job result = %+v, want answer %q", st2.Result, ji.Result.Answer)
 	}
 
+	// Ownership came back from the log: the restored session and job carry
+	// their tenant.
+	ownedM, err := srv2.mgr.Get(ownedSID)
+	if err != nil {
+		t.Fatalf("owned session not recovered: %v", err)
+	}
+	if ownedM.Tenant != "dur" {
+		t.Fatalf("recovered session tenant = %q, want dur", ownedM.Tenant)
+	}
+	ownedJ, ok := srv2.jobs.Get(ownedJID)
+	if !ok {
+		t.Fatalf("owned job %s not recovered", ownedJID)
+	}
+	if ownedJ.Owner != "dur" {
+		t.Fatalf("recovered job owner = %q, want dur", ownedJ.Owner)
+	}
+
 	// The restored session keeps serving: one more chat over HTTP, on the
 	// same session ID, against the re-interned graph.
 	ts2 := httptest.NewServer(srv2.Handler())
@@ -212,6 +252,20 @@ func TestCrashRecovery(t *testing.T) {
 	postTo(t, ts2.URL+"/v1/sessions/"+si.SessionID+"/chat", ChatRequest{Question: "How many nodes does G have?", Graph: gj}, http.StatusOK, &cr)
 	if cr.Answer == "" {
 		t.Fatal("chat on recovered session: empty answer")
+	}
+	// And ownership is enforced over HTTP exactly as before the crash:
+	// another tenant sees 404, the owner sees its state.
+	if r := doReq(t, http.MethodGet, ts2.URL+"/v1/sessions/"+ownedSID+"/history", "k-other", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant history after recovery = %d, want 404", r.StatusCode)
+	}
+	if r := doReq(t, http.MethodGet, ts2.URL+"/v1/sessions/"+ownedSID+"/history", "k-dur", nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("owner history after recovery = %d", r.StatusCode)
+	}
+	if r := doReq(t, http.MethodGet, ts2.URL+"/v1/jobs/"+ownedJID, "k-other", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant job after recovery = %d, want 404", r.StatusCode)
+	}
+	if r := doReq(t, http.MethodGet, ts2.URL+"/v1/jobs/"+ownedJID, "k-dur", nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("owner job after recovery = %d", r.StatusCode)
 	}
 	if got := len(m.Session.History()); got != len(answers)+1 {
 		t.Fatalf("history after post-recovery chat = %d", got)
@@ -240,6 +294,19 @@ func TestCrashRecovery(t *testing.T) {
 	if len(state3.Graphs) == 0 {
 		t.Fatal("post-checkpoint graphs empty")
 	}
+	if s3o, ok := state3.Sessions[ownedSID]; !ok || s3o.Tenant != "dur" {
+		t.Fatalf("post-checkpoint owned session = %+v, want tenant dur", s3o)
+	}
+}
+
+// durTenants is the two-tenant registry the crash-recovery test runs under:
+// ownership must come back from the WAL, not from process memory.
+func durTenants(t *testing.T) *tenant.Registry {
+	t.Helper()
+	return mustRegistry(t, &tenant.Config{Tenants: []tenant.TenantConfig{
+		{Name: "dur", Keys: []string{"k-dur"}},
+		{Name: "other", Keys: []string{"k-other"}},
+	}})
 }
 
 func postTo(t *testing.T, url string, body any, wantStatus int, out any) {
@@ -295,7 +362,7 @@ func TestRecoverExpiredSessions(t *testing.T) {
 		Session: &durable.SessionRecord{ID: "stale", CreatedUnixNS: old.UnixNano()}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := dstore.LogSessionCreate("fresh", time.Now()); err != nil {
+	if err := dstore.LogSessionCreate("fresh", time.Now(), ""); err != nil {
 		t.Fatal(err)
 	}
 	dstore.Abort()

@@ -163,7 +163,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		return chatResponse(turn), nil
 	}
-	j, err := s.jobs.SubmitWithID(req.JobID, pri, task)
+	j, err := s.jobs.SubmitOwned(req.JobID, s.currentTenant(r).Name, pri, task)
 	switch {
 	case errors.Is(err, jobs.ErrDuplicateID):
 		writeError(w, r, http.StatusConflict, err.Error())
@@ -183,16 +183,36 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, jobInfo(j.Status()))
 }
 
-// handleJobList reports every stored job (queued, running, retained
-// finished), newest submission first.
+// handleJobList reports the calling tenant's stored jobs (queued,
+// running, retained finished), newest submission first.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	tn := s.currentTenant(r)
 	all := s.jobs.All()
 	sort.Slice(all, func(i, j int) bool { return all[i].Submitted.After(all[j].Submitted) })
-	out := make([]JobInfo, len(all))
-	for i, st := range all {
-		out[i] = jobInfo(st)
+	out := []JobInfo{}
+	for _, st := range all {
+		if ownedBy(st.Owner, tn) {
+			out = append(out, jobInfo(st))
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// getOwnedJob fetches a job and checks the caller's tenant owns it. These
+// routes sit outside the admission gate (a long stream must outlive
+// RequestTimeout, cancel must work on an overloaded server), so the
+// tenant is resolved here; cross-tenant and unknown IDs are the same 404.
+func (s *Server) getOwnedJob(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	tn, ok := s.authTenant(w, r)
+	if !ok {
+		return nil, false
+	}
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok || !ownedBy(j.Owner, tn) {
+		writeError(w, r, http.StatusNotFound, "no such job")
+		return nil, false
+	}
+	return j, true
 }
 
 // handleJobGet serves one job's status, or — with ?stream=1 — an NDJSON
@@ -201,9 +221,8 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 // stream works during and after execution, so a client may watch a running
 // job or replay a finished one with the same request.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.Get(r.PathValue("id"))
+	j, ok := s.getOwnedJob(w, r)
 	if !ok {
-		writeError(w, r, http.StatusNotFound, "no such job")
 		return
 	}
 	if stream := r.URL.Query().Get("stream"); stream == "1" || stream == "true" {
@@ -262,6 +281,9 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *jobs.Job) 
 // observes the dead context between steps. Cancelling a finished job is a
 // no-op that reports the settled state, so DELETE is safely idempotent.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.getOwnedJob(w, r); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	st, ok := s.jobs.Cancel(id)
 	if !ok {

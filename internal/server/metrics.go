@@ -20,11 +20,12 @@ type httpMetrics struct {
 	inFlight *metrics.Gauge
 	// gatedInFlight counts requests currently admitted past the max-in-flight
 	// gate — the value the cap is enforced against.
-	gatedInFlight *metrics.Gauge
-	shedInFlight  *metrics.Counter
-	shedRate      *metrics.Counter
-	shedRPS       *metrics.Counter
-	routes        map[string]*routeMetrics
+	gatedInFlight  *metrics.Gauge
+	shedInFlight   *metrics.Counter
+	shedRate       *metrics.Counter
+	shedTenantRate *metrics.Counter
+	shedRPS        *metrics.Counter
+	routes         map[string]*routeMetrics
 }
 
 // routeMetrics is one route's instrument set: a latency histogram plus one
@@ -47,6 +48,8 @@ func newHTTPMetrics(reg *metrics.Registry) *httpMetrics {
 			"Requests shed with 429.", metrics.Labels{"reason": "in_flight"}),
 		shedRate: reg.Counter("chatgraph_http_shed_total",
 			"Requests shed with 429.", metrics.Labels{"reason": "session_rate"}),
+		shedTenantRate: reg.Counter("chatgraph_http_shed_total",
+			"Requests shed with 429.", metrics.Labels{"reason": "tenant_rate"}),
 		shedRPS: reg.Counter("chatgraph_http_shed_total",
 			"Requests shed with 429.", metrics.Labels{"reason": "max_rps"}),
 		routes: make(map[string]*routeMetrics),
@@ -118,11 +121,14 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 	})
 }
 
-// admission gates h behind the server's overload policy: a max-in-flight
-// semaphore that sheds excess load with 429 + Retry-After, and a per-request
-// context deadline so a stuck chain cannot pin a session lock forever.
-// Health and metrics routes are never gated — an overloaded server must
-// still report that it is overloaded.
+// admission gates h behind the server's overload policy: API-key → tenant
+// resolution (401/403), the weighted-fair in-flight gate that partitions
+// MaxInFlight into per-tenant guaranteed shares, the tenant's rate bucket,
+// the global MaxRPS bucket, and a per-request context deadline so a stuck
+// chain cannot pin a session lock forever. Every 429 carries a Retry-After
+// derived from the actual refill time (minimum 1s). Health and metrics
+// routes are never gated — an overloaded server must still report that it
+// is overloaded.
 func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// A server mid-recovery refuses work outright: its session and job
@@ -133,27 +139,22 @@ func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
 			writeError(w, r, http.StatusServiceUnavailable, "server recovering, retry later")
 			return
 		}
-		if max := s.opts.MaxInFlight; max > 0 {
-			if cur := s.hm.gatedInFlight.Inc(); cur > int64(max) {
-				s.hm.gatedInFlight.Dec()
-				s.hm.shedInFlight.Inc()
-				w.Header().Set("Retry-After", "1")
-				writeError(w, r, http.StatusTooManyRequests, "server over capacity, retry later")
-				return
-			}
-			defer s.hm.gatedInFlight.Dec()
+		r, release, ts, ok := s.tenantAdmission(w, r)
+		if !ok {
+			return
 		}
+		defer release()
+		// The gauge tracks total admitted occupancy across tenants — the
+		// value the old single semaphore enforced, kept for dashboards.
+		s.hm.gatedInFlight.Inc()
+		defer s.hm.gatedInFlight.Dec()
 		if rate := s.opts.MaxRPS; rate > 0 {
 			// Burst is ~a quarter second of budget so short arrival spikes
 			// ride through while the sustained rate holds at the cap.
 			burst := math.Max(1, math.Ceil(rate/4))
 			if ok, retry := s.globalBucket.take(rate, burst, time.Now()); !ok {
 				s.hm.shedRPS.Inc()
-				secs := int(math.Ceil(retry.Seconds()))
-				if secs < 1 {
-					secs = 1
-				}
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				setRetryAfter(w, retry)
 				writeError(w, r, http.StatusTooManyRequests, "server rate capacity exceeded, retry later")
 				return
 			}
@@ -163,8 +164,26 @@ func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		start := time.Now()
 		next(w, r)
+		ts.duration.Observe(time.Since(start).Seconds())
 	}
+}
+
+// retryAfterSecs rounds a bucket refill wait up to the integer seconds an
+// HTTP Retry-After header carries, never below 1 — every shed path goes
+// through this one rounding so all 429 layers agree.
+func retryAfterSecs(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// setRetryAfter stamps the unified Retry-After header for a shed reply.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(d)))
 }
 
 // tokenBucket is a classic continuous-refill rate limiter; one lives on each
@@ -210,22 +229,21 @@ func (s *Server) sessionBurst() float64 {
 	return math.Max(1, math.Ceil(s.opts.SessionRate))
 }
 
-// rateLimit applies the per-session token bucket, writing the 429 itself
-// when the session is over budget. A zero SessionRate disables limiting.
-func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request, m *managed) (ok bool) {
+// rateLimit applies the session-scoped token bucket b, writing the 429
+// itself when the budget is spent. A zero SessionRate disables limiting.
+// The bucket is passed in rather than pulled off a managed session so the
+// legacy shared conversation's bucket rides the same arithmetic (and the
+// same Retry-After rounding) as the v1 per-session buckets.
+func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request, b *tokenBucket) (ok bool) {
 	if s.opts.SessionRate <= 0 {
 		return true
 	}
-	allowed, retry := m.bucket.take(s.opts.SessionRate, s.sessionBurst(), time.Now())
+	allowed, retry := b.take(s.opts.SessionRate, s.sessionBurst(), time.Now())
 	if allowed {
 		return true
 	}
 	s.hm.shedRate.Inc()
-	secs := int(math.Ceil(retry.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	setRetryAfter(w, retry)
 	writeError(w, r, http.StatusTooManyRequests, "session rate limit exceeded, retry later")
 	return false
 }

@@ -32,6 +32,7 @@ import (
 	"chatgraph/internal/graph"
 	"chatgraph/internal/jobs"
 	"chatgraph/internal/metrics"
+	"chatgraph/internal/tenant"
 )
 
 // Options tunes the server.
@@ -85,6 +86,13 @@ type Options struct {
 	// caller completes recovery with Recover — which must be called even
 	// when the recovered state is empty.
 	Durable *durable.Store
+	// Tenants is the multi-tenant admission registry (API-key resolution,
+	// per-tenant quotas, weighted-fair shares over MaxInFlight). nil means
+	// single-tenant: everything runs as the anonymous tenant with no key
+	// checking, and admission behaves like the pre-tenancy global
+	// semaphore. The server calls SetCapacity(MaxInFlight) on it at
+	// construction; don't share one registry across servers.
+	Tenants *tenant.Registry
 }
 
 // Server routes HTTP traffic onto a shared core.Engine. Conversation state
@@ -105,6 +113,13 @@ type Server struct {
 	ready atomic.Bool
 	// globalBucket enforces Options.MaxRPS across every gated route.
 	globalBucket tokenBucket
+	// legacyBucket rate-limits the shared legacy /chat conversation under
+	// the same SessionRate/SessionBurst arithmetic as v1 sessions.
+	legacyBucket tokenBucket
+	// tenants resolves API keys and runs the weighted-fair gate; tm holds
+	// the per-tenant metric handles (bounded label set).
+	tenants *tenant.Registry
+	tm      *tenantMetrics
 }
 
 // New returns a Server over eng.
@@ -114,12 +129,20 @@ func New(eng *core.Engine, opts Options) *Server {
 		reg = metrics.Default()
 	}
 	s := &Server{
-		eng:    eng,
-		mgr:    NewSessionManager(eng, opts.SessionTTL, opts.MaxSessions),
-		opts:   opts,
-		hm:     newHTTPMetrics(reg),
-		legacy: eng.NewSession(),
+		eng:     eng,
+		mgr:     NewSessionManager(eng, opts.SessionTTL, opts.MaxSessions),
+		opts:    opts,
+		hm:      newHTTPMetrics(reg),
+		legacy:  eng.NewSession(),
+		tenants: opts.Tenants,
 	}
+	if s.tenants == nil {
+		// Single-tenant default: anonymous only, unlimited quota — the
+		// fair gate then degenerates to the plain MaxInFlight semaphore.
+		s.tenants, _ = tenant.New(nil)
+	}
+	s.tenants.SetCapacity(opts.MaxInFlight)
+	s.tm = newTenantMetrics(reg, s.tenants)
 	// The job pool's terminal hook needs s, so the pool is built after the
 	// struct (onJobTerminal no-ops when no durable store is configured).
 	s.jobs = jobs.New(jobs.Options{
@@ -271,7 +294,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	m, err := s.mgr.CreateWithID(req.SessionID)
+	m, err := s.mgr.CreateWithID(req.SessionID, s.currentTenant(r).Name)
 	switch {
 	case errors.Is(err, ErrBadID):
 		writeError(w, r, http.StatusBadRequest, err.Error())
@@ -289,16 +312,34 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 	s.mgr.Sweep()
+	tn := s.currentTenant(r)
 	out := []SessionInfo{}
 	s.mgr.sessions.Range(func(_, value any) bool {
-		out = append(out, s.sessionInfo(value.(*managed)))
+		if m := value.(*managed); ownedBy(m.Tenant, tn) {
+			out = append(out, s.sessionInfo(m))
+		}
 		return true
 	})
 	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
 }
 
+// getOwnedSession fetches a live session and checks the caller's tenant
+// owns it, answering cross-tenant (and unknown) IDs with an
+// indistinguishable 404 so session IDs cannot be probed across tenants.
+func (s *Server) getOwnedSession(w http.ResponseWriter, r *http.Request, id string) (*managed, bool) {
+	m, err := s.mgr.Get(id)
+	if err != nil || !ownedBy(m.Tenant, s.currentTenant(r)) {
+		writeError(w, r, http.StatusNotFound, "no such session")
+		return nil, false
+	}
+	return m, true
+}
+
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if _, ok := s.getOwnedSession(w, r, id); !ok {
+		return
+	}
 	if !s.mgr.Delete(id) {
 		writeError(w, r, http.StatusNotFound, "no such session")
 		return
@@ -308,9 +349,8 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionHistory(w http.ResponseWriter, r *http.Request) {
-	m, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(w, r, http.StatusNotFound, "no such session")
+	m, ok := s.getOwnedSession(w, r, r.PathValue("id"))
+	if !ok {
 		return
 	}
 	turns := []HistoryTurn{}
@@ -336,12 +376,11 @@ type HistoryTurn struct {
 }
 
 func (s *Server) handleSessionChat(w http.ResponseWriter, r *http.Request) {
-	m, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(w, r, http.StatusNotFound, "no such session")
+	m, ok := s.getOwnedSession(w, r, r.PathValue("id"))
+	if !ok {
 		return
 	}
-	if !s.rateLimit(w, r, m) {
+	if !s.rateLimit(w, r, &m.bucket) {
 		return
 	}
 	q, g, ok := s.decodeChat(w, r)
@@ -563,6 +602,12 @@ func chatResponse(turn core.Turn) ChatResponse {
 func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	// The shared legacy conversation pays the same per-session budget as a
+	// v1 session — before this bucket existed, /chat bypassed
+	// SessionRate entirely and was the cheap way around the rate policy.
+	if !s.rateLimit(w, r, &s.legacyBucket) {
 		return
 	}
 	q, g, ok := s.decodeChat(w, r)

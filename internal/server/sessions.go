@@ -38,6 +38,10 @@ type managed struct {
 	ID      string
 	Session *core.Session
 	Created time.Time
+	// Tenant names the owning tenant; cross-tenant access is answered as
+	// if the session did not exist. Empty means the anonymous tenant
+	// (sessions recovered from pre-tenancy WALs).
+	Tenant string
 	// lastUsed is unix nanoseconds, advanced on every touch.
 	lastUsed atomic.Int64
 	// bucket rate-limits this session's chat requests (see Server.rateLimit).
@@ -91,8 +95,11 @@ func (sm *SessionManager) TTL() time.Duration { return sm.ttl }
 // Len reports the number of live (possibly idle-but-unexpired) sessions.
 func (sm *SessionManager) Len() int { return int(sm.count.Load()) }
 
-// Create mints a new session, expiring idle ones first if at capacity.
-func (sm *SessionManager) Create() (*managed, error) { return sm.CreateWithID("") }
+// Create mints a new session owned by tenant, expiring idle ones first if
+// at capacity.
+func (sm *SessionManager) Create(tenant string) (*managed, error) {
+	return sm.CreateWithID("", tenant)
+}
 
 // CreateWithID creates a session under a caller-chosen ID — the hook a
 // cluster router uses to pin a session onto the backend its rendezvous hash
@@ -101,8 +108,8 @@ func (sm *SessionManager) Create() (*managed, error) { return sm.CreateWithID(""
 // hashes back to the same backend with no routing table. An empty id mints
 // a random one (plain Create). Pinned IDs must be 8-64 lowercase hex
 // characters (ErrBadID) and must not collide with a live session
-// (ErrSessionExists).
-func (sm *SessionManager) CreateWithID(id string) (*managed, error) {
+// (ErrSessionExists). tenant records the owning tenant's name.
+func (sm *SessionManager) CreateWithID(id, tenant string) (*managed, error) {
 	if id != "" && !validPinnedID(id) {
 		return nil, ErrBadID
 	}
@@ -126,6 +133,7 @@ func (sm *SessionManager) CreateWithID(id string) (*managed, error) {
 		ID:      id,
 		Session: sm.eng.NewSession(),
 		Created: now,
+		Tenant:  tenant,
 	}
 	m.touch(now)
 	sm.sessions.Store(m.ID, m)
@@ -135,11 +143,12 @@ func (sm *SessionManager) CreateWithID(id string) (*managed, error) {
 }
 
 // Restore re-inserts a session recovered from the durability layer under
-// its original ID, with its original creation time and idle clock (the
-// caller applies TTL policy before deciding to restore). The restored
-// session's history is empty; the caller rebuilds it via
-// core.Session.RestoreHistory.
-func (sm *SessionManager) Restore(id string, created, lastUsed time.Time) (*managed, error) {
+// its original ID, with its original creation time, idle clock, and tenant
+// ownership (the caller applies TTL policy before deciding to restore).
+// The rate bucket comes back empty — a fresh bucket is fine, lost
+// ownership is not. The restored session's history is empty; the caller
+// rebuilds it via core.Session.RestoreHistory.
+func (sm *SessionManager) Restore(id string, created, lastUsed time.Time, tenant string) (*managed, error) {
 	if id == "" {
 		return nil, fmt.Errorf("server: restore: empty session id")
 	}
@@ -155,6 +164,7 @@ func (sm *SessionManager) Restore(id string, created, lastUsed time.Time) (*mana
 		ID:      id,
 		Session: sm.eng.NewSession(),
 		Created: created,
+		Tenant:  tenant,
 	}
 	m.lastUsed.Store(lastUsed.UnixNano())
 	sm.sessions.Store(m.ID, m)
